@@ -1,0 +1,43 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table/figure of the paper on the synthetic
+// FB/OSP traces (DESIGN.md §2 documents the substitution) and prints the
+// same rows/series the paper reports, annotated with the paper's published
+// numbers where they exist. Absolute values differ (their testbed, their
+// traces); the *shape* is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/metrics.h"
+#include "analysis/table.h"
+#include "sim/engine.h"
+#include "trace/synth.h"
+
+namespace saath::bench {
+
+/// The evaluation defaults of §6: S=10MB, E=10, K=10, δ=8ms, 1 Gbps ports.
+inline SimConfig paper_sim_config() {
+  SimConfig cfg;
+  cfg.port_bandwidth = gbps(1);
+  cfg.delta = msec(8);
+  return cfg;
+}
+
+/// FB-like trace at evaluation scale (150 ports / 526 CoFlows).
+inline trace::Trace fb_trace() { return trace::synth_fb_trace(); }
+
+/// OSP-like trace (100 ports / 1000 CoFlows, busier).
+inline trace::Trace osp_trace() { return trace::synth_osp_trace(); }
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!paper.empty()) std::printf("paper reference: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace saath::bench

@@ -1,0 +1,51 @@
+// Fig 2 — the out-of-sync problem in Aalo (§2.3).
+// (a) CoFlow width distribution; (b) normalized stddev of flow lengths;
+// (c) normalized stddev of FCTs under Aalo, split equal/unequal lengths.
+#include "analysis/deviation.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "sched/factory.h"
+#include "trace/trace.h"
+
+using namespace saath;
+
+int main() {
+  bench::print_header(
+      "Fig 2: prevalence of the out-of-sync problem under Aalo (FB trace)",
+      "(a) 23% single-flow / 50% equal / 27% unequal; (c) equal-length "
+      "CoFlows: 50% exceed 12%, 20% exceed 39% normalized FCT deviation");
+
+  const auto trace = bench::fb_trace();
+  const auto stats = trace::compute_stats(trace);
+
+  std::printf("\n-- Fig 2(a): CoFlow width distribution --\n");
+  TextTable widths({"percentile", "width"});
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    widths.add_row({fmt(p, 0) + "%", fmt(percentile(stats.widths, p), 0)});
+  }
+  widths.print(std::cout);
+  std::printf("single-flow: %.1f%%  multi equal: %.1f%%  multi unequal: %.1f%%\n",
+              100 * stats.frac_single_flow, 100 * stats.frac_multi_equal,
+              100 * stats.frac_multi_unequal);
+
+  std::printf("\n-- Fig 2(b): normalized stddev of flow lengths (multi-flow) --\n");
+  TextTable lens({"percentile", "normalized stddev"});
+  for (double p : {50.0, 80.0, 90.0}) {
+    lens.add_row({fmt(p, 0) + "%",
+                  fmt(percentile(stats.norm_flow_len_stddev, p), 3)});
+  }
+  lens.print(std::cout);
+
+  std::printf("\n-- Fig 2(c): normalized stddev of FCTs under Aalo --\n");
+  auto aalo = make_scheduler("aalo");
+  const auto result = simulate(trace, *aalo, bench::paper_sim_config());
+  const auto dev = fct_deviation(result);
+  TextTable fct({"group", "P50 deviation", "P80 deviation", "paper P50/P80"});
+  fct.add_row({"equal flow lengths", fmt(percentile(dev.equal_length, 50), 3),
+               fmt(percentile(dev.equal_length, 80), 3), "0.12 / 0.39"});
+  fct.add_row({"unequal flow lengths",
+               fmt(percentile(dev.unequal_length, 50), 3),
+               fmt(percentile(dev.unequal_length, 80), 3), "0.27 / 0.50"});
+  fct.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig 9 — headline speedup of Saath over SEBF (offline), Aalo (online) and
+// UC-TCP (uncoordinated), on both traces. Bars = median, error bars =
+// P10/P90 of the per-CoFlow speedup distribution.
+#include "analysis/table.h"
+#include "bench_util.h"
+
+using namespace saath;
+
+namespace {
+
+void run_one(const trace::Trace& trace, const char* label,
+             const char* paper_note) {
+  const auto results = run_schedulers(
+      trace, {"saath", "aalo", "sebf", "uc-tcp"}, saath::bench::paper_sim_config());
+  std::printf("\n-- %s (%s) --\n", label, paper_note);
+  TextTable t({"baseline", "P10", "median", "P90"});
+  for (const auto* base : {"sebf", "aalo", "uc-tcp"}) {
+    const auto s = summarize_speedup(results.at("saath"), results.at(base));
+    t.add_row({std::string("saath vs ") + base, fmt(s.p10), fmt(s.median),
+               fmt(s.p90)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  saath::bench::print_header(
+      "Fig 9: Saath speedup over SEBF / Aalo / UC-TCP",
+      "FB: 1.53x median (P90 4.5x) vs Aalo, 154x median vs UC-TCP; "
+      "OSP: 1.42x median (P90 37x) vs Aalo, 121x vs UC-TCP; "
+      "Saath close to offline SEBF");
+  run_one(saath::bench::fb_trace(), "FB trace",
+          "paper: vs Aalo median 1.53, P90 4.5");
+  run_one(saath::bench::osp_trace(), "OSP trace",
+          "paper: vs Aalo median 1.42, P90 37");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig 10 — contribution of the three complementary ideas: all-or-none
+// (A/N), per-flow queue thresholds (PF), and LCoF, as median speedup over
+// Aalo on both traces.
+#include "analysis/table.h"
+#include "bench_util.h"
+
+using namespace saath;
+
+int main() {
+  bench::print_header(
+      "Fig 10: design-component breakdown (median speedup over Aalo)",
+      "FB: A/N+FIFO 1.13, A/N+PF+FIFO 1.30, Saath 1.53; "
+      "OSP: 1.10, 1.32, 1.42 — each idea adds on top of the previous");
+
+  TextTable t({"variant", "FB median", "FB P90", "OSP median", "OSP P90"});
+  const std::vector<std::string> variants{"saath-an-fifo", "saath-an-pf-fifo",
+                                          "saath"};
+  const auto fb = run_schedulers(bench::fb_trace(),
+                                 {"aalo", "saath-an-fifo", "saath-an-pf-fifo",
+                                  "saath"},
+                                 bench::paper_sim_config());
+  const auto osp = run_schedulers(bench::osp_trace(),
+                                  {"aalo", "saath-an-fifo", "saath-an-pf-fifo",
+                                   "saath"},
+                                  bench::paper_sim_config());
+  for (const auto& v : variants) {
+    const auto f = summarize_speedup(fb.at(v), fb.at("aalo"));
+    const auto o = summarize_speedup(osp.at(v), osp.at("aalo"));
+    t.add_row({v, fmt(f.median), fmt(f.p90), fmt(o.median), fmt(o.p90)});
+  }
+  t.print(std::cout);
+  std::printf("expected shape: each row's median >= the previous row's\n");
+  return 0;
+}

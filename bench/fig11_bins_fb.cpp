@@ -1,0 +1,38 @@
+// Fig 11 — per-bin breakdown (Table 1) of the design components on the FB
+// trace: A/N helps small/thin CoFlows; PF helps wide ones (bins 2,4); LCoF
+// lifts bin 1 the most.
+#include "analysis/bins.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+
+using namespace saath;
+
+int main() {
+  bench::print_header(
+      "Fig 11: speedup over Aalo by Table-1 bin (FB trace)",
+      "paper bin mass 54/14/12/20%; A/N favors bin-1, PF favors bins 2+4, "
+      "LCoF lifts bin-1 most without significantly hurting others");
+
+  const auto trace = bench::fb_trace();
+  const auto results = run_schedulers(
+      trace, {"aalo", "saath-an-fifo", "saath-an-pf-fifo", "saath"},
+      bench::paper_sim_config());
+
+  TextTable t({"variant", bin_label(0), bin_label(1), bin_label(2),
+               bin_label(3)});
+  bool first = true;
+  for (const auto* v : {"saath-an-fifo", "saath-an-pf-fifo", "saath"}) {
+    const auto b = binned_speedup(results.at(v), results.at("aalo"));
+    if (first) {
+      t.add_row({"(fraction of CoFlows)", fmt(100 * b.fraction[0], 0) + "%",
+                 fmt(100 * b.fraction[1], 0) + "%",
+                 fmt(100 * b.fraction[2], 0) + "%",
+                 fmt(100 * b.fraction[3], 0) + "%"});
+      first = false;
+    }
+    t.add_row({v, fmt(b.median_speedup[0]), fmt(b.median_speedup[1]),
+               fmt(b.median_speedup[2]), fmt(b.median_speedup[3])});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig 12 — per-bin breakdown on the OSP-like trace (bin fractions redacted
+// in the paper for proprietary reasons; we print ours).
+#include "analysis/bins.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+
+using namespace saath;
+
+int main() {
+  bench::print_header(
+      "Fig 12: speedup over Aalo by Table-1 bin (OSP trace)",
+      "same qualitative shape as Fig 11 on the busier OSP cluster");
+
+  const auto trace = bench::osp_trace();
+  const auto results = run_schedulers(
+      trace, {"aalo", "saath-an-fifo", "saath-an-pf-fifo", "saath"},
+      bench::paper_sim_config());
+
+  TextTable t({"variant", bin_label(0), bin_label(1), bin_label(2),
+               bin_label(3)});
+  bool first = true;
+  for (const auto* v : {"saath-an-fifo", "saath-an-pf-fifo", "saath"}) {
+    const auto b = binned_speedup(results.at(v), results.at("aalo"));
+    if (first) {
+      t.add_row({"(fraction of CoFlows)", fmt(100 * b.fraction[0], 0) + "%",
+                 fmt(100 * b.fraction[1], 0) + "%",
+                 fmt(100 * b.fraction[2], 0) + "%",
+                 fmt(100 * b.fraction[3], 0) + "%"});
+      first = false;
+    }
+    t.add_row({v, fmt(b.median_speedup[0]), fmt(b.median_speedup[1]),
+               fmt(b.median_speedup[2]), fmt(b.median_speedup[3])});
+  }
+  t.print(std::cout);
+  return 0;
+}

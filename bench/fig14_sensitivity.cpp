@@ -1,0 +1,133 @@
+// Fig 14 — sensitivity of Saath and Aalo to the five design parameters:
+// (a) start queue threshold S, (b) growth exponent E, (c) sync interval δ,
+// (d) arrival-time scaling A, (e) deadline factor d.
+//
+// Following the paper's Fig 14(d) definition, each bar is the median
+// per-CoFlow speedup of <scheme at parameter value> over <Aalo at default
+// parameters>. Runs on a reduced FB-like trace (the full grid is ~60
+// simulations); the shape, not scale, is the target.
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "sched/factory.h"
+
+using namespace saath;
+
+namespace {
+
+trace::Trace sensitivity_trace() {
+  trace::SynthConfig cfg;
+  cfg.num_ports = 60;
+  cfg.num_coflows = 250;
+  cfg.arrival_span = seconds(20);
+  cfg.seed = 42;
+  return trace::synth_fb_trace(cfg);
+}
+
+double median_speedup_over(const SimResult& scheme, const SimResult& base) {
+  const auto sp = scheme.speedup_over(base);
+  return percentile(sp, 50);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig 14: sensitivity analysis (reduced FB-like trace)",
+      "(a) Aalo sensitive to S, Saath flat; (b) both flat in E; (c) both "
+      "degrade as delta grows; (d) speedup over default Aalo falls with "
+      "faster arrivals but Saath's lead over Aalo widens; (e) flat in d");
+
+  const auto trace = sensitivity_trace();
+  const auto sim = bench::paper_sim_config();
+
+  // Baseline: Aalo at default parameters.
+  auto aalo_default_sched = make_scheduler("aalo");
+  const auto aalo_default = simulate(trace, *aalo_default_sched, sim);
+
+  // (a) Start queue threshold S.
+  {
+    std::printf("\n-- Fig 14(a): start queue threshold S --\n");
+    TextTable t({"S", "saath", "aalo"});
+    for (Bytes s : {10 * kMB, 100 * kMB, 1 * kGB, 10 * kGB, 100 * kGB, 1 * kTB}) {
+      SchedulerOptions opt;
+      opt.queues.start_threshold = s;
+      auto saath_s = make_scheduler("saath", opt);
+      auto aalo_s = make_scheduler("aalo", opt);
+      const auto rs = simulate(trace, *saath_s, sim);
+      const auto ra = simulate(trace, *aalo_s, sim);
+      t.add_row({fmt(static_cast<double>(s) / kMB, 0) + "MB",
+                 fmt(median_speedup_over(rs, aalo_default)),
+                 fmt(median_speedup_over(ra, aalo_default))});
+    }
+    t.print(std::cout);
+  }
+
+  // (b) Exponential growth factor E.
+  {
+    std::printf("\n-- Fig 14(b): queue growth exponent E --\n");
+    TextTable t({"E", "saath", "aalo"});
+    for (double e : {2.0, 5.0, 10.0, 16.0, 32.0}) {
+      SchedulerOptions opt;
+      opt.queues.growth = e;
+      auto saath_s = make_scheduler("saath", opt);
+      auto aalo_s = make_scheduler("aalo", opt);
+      const auto rs = simulate(trace, *saath_s, sim);
+      const auto ra = simulate(trace, *aalo_s, sim);
+      t.add_row({fmt(e, 0), fmt(median_speedup_over(rs, aalo_default)),
+                 fmt(median_speedup_over(ra, aalo_default))});
+    }
+    t.print(std::cout);
+  }
+
+  // (c) Synchronization interval delta.
+  {
+    std::printf("\n-- Fig 14(c): sync interval delta (ms) --\n");
+    TextTable t({"delta", "saath", "aalo"});
+    for (int ms : {2, 4, 8, 12, 16, 20}) {
+      SimConfig cfg = sim;
+      cfg.delta = msec(ms);
+      auto saath_s = make_scheduler("saath");
+      auto aalo_s = make_scheduler("aalo");
+      const auto rs = simulate(trace, *saath_s, cfg);
+      const auto ra = simulate(trace, *aalo_s, cfg);
+      t.add_row({fmt(ms, 0), fmt(median_speedup_over(rs, aalo_default)),
+                 fmt(median_speedup_over(ra, aalo_default))});
+    }
+    t.print(std::cout);
+  }
+
+  // (d) Arrival-time scaling A (A>1 = faster arrivals = more contention).
+  {
+    std::printf("\n-- Fig 14(d): arrival scaling A --\n");
+    TextTable t({"A", "saath vs default-aalo", "aalo vs default-aalo",
+                 "saath lead over aalo(A)"});
+    for (double a : {0.25, 0.5, 1.0, 2.0, 4.0, 5.0}) {
+      const auto scaled = trace.scaled_arrivals(a);
+      auto saath_s = make_scheduler("saath");
+      auto aalo_s = make_scheduler("aalo");
+      const auto rs = simulate(scaled, *saath_s, sim);
+      const auto ra = simulate(scaled, *aalo_s, sim);
+      // CCTs across different arrival scalings still compare per CoFlow id.
+      t.add_row({fmt(a), fmt(median_speedup_over(rs, aalo_default)),
+                 fmt(median_speedup_over(ra, aalo_default)),
+                 fmt(median_speedup_over(rs, ra))});
+    }
+    t.print(std::cout);
+  }
+
+  // (e) Deadline factor d.
+  {
+    std::printf("\n-- Fig 14(e): starvation deadline factor d --\n");
+    TextTable t({"d", "saath vs default-aalo"});
+    for (double d : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      SchedulerOptions opt;
+      opt.deadline_factor = d;
+      auto saath_s = make_scheduler("saath", opt);
+      const auto rs = simulate(trace, *saath_s, sim);
+      t.add_row({fmt(d, 0) + "x", fmt(median_speedup_over(rs, aalo_default))});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

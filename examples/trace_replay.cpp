@@ -1,0 +1,64 @@
+// Trace replay: run any scheduler over a CoFlow trace and print summary
+// statistics. Accepts the public Facebook coflow-benchmark file format, or
+// synthesizes the FB/OSP-like traces used in the paper reproduction.
+//
+//   $ ./trace_replay                        # synth FB trace, aalo vs saath
+//   $ ./trace_replay --trace osp            # synth OSP trace
+//   $ ./trace_replay --file FB-2010-1Hr-150-0.txt --scheduler sebf
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/metrics.h"
+#include "analysis/table.h"
+#include "sched/factory.h"
+#include "sim/engine.h"
+#include "trace/fb_format.h"
+#include "trace/synth.h"
+
+using namespace saath;
+
+int main(int argc, char** argv) {
+  std::string trace_kind = "fb";
+  std::string file;
+  std::string scheduler;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_kind = argv[i + 1];
+    if (std::strcmp(argv[i], "--file") == 0) file = argv[i + 1];
+    if (std::strcmp(argv[i], "--scheduler") == 0) scheduler = argv[i + 1];
+  }
+
+  trace::Trace trace;
+  if (!file.empty()) {
+    trace = trace::load_fb_trace_file(file);
+  } else if (trace_kind == "osp") {
+    trace = trace::synth_osp_trace();
+  } else {
+    trace = trace::synth_fb_trace();
+  }
+  std::printf("trace '%s': %d ports, %zu coflows, %.1f GB total\n",
+              trace.name.c_str(), trace.num_ports, trace.coflows.size(),
+              static_cast<double>(trace.total_bytes()) / 1e9);
+
+  const std::vector<std::string> names =
+      scheduler.empty() ? std::vector<std::string>{"aalo", "saath"}
+                        : std::vector<std::string>{"aalo", scheduler};
+  const auto results = run_schedulers(trace, names, SimConfig{});
+
+  TextTable t({"scheduler", "mean CCT (s)", "P50 CCT (s)", "P90 CCT (s)",
+               "makespan (s)"});
+  for (const auto& name : names) {
+    const auto s = results.at(name).cct_summary();
+    t.add_row({name, fmt(s.mean), fmt(s.p50), fmt(s.p90),
+               fmt(to_seconds(results.at(name).makespan))});
+  }
+  t.print(std::cout);
+
+  if (names.size() == 2 && names[0] != names[1]) {
+    const auto s = summarize_speedup(results.at(names[1]), results.at("aalo"));
+    std::printf("%s vs aalo: median %.2fx  P10 %.2fx  P90 %.2fx\n",
+                names[1].c_str(), s.median, s.p10, s.p90);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "analysis/bins.h"
+
+#include "common/expect.h"
+#include "common/stats.h"
+
+namespace saath {
+
+int bin_of(Bytes total_bytes, int width) {
+  const bool small = total_bytes <= kBinSizeBoundary;
+  const bool narrow = width <= kBinWidthBoundary;
+  if (small && narrow) return 0;
+  if (small && !narrow) return 1;
+  if (!small && narrow) return 2;
+  return 3;
+}
+
+int bin_of(const CoflowRecord& record) {
+  return bin_of(record.total_bytes, record.width);
+}
+
+std::string bin_label(int bin) {
+  SAATH_EXPECTS(bin >= 0 && bin < kNumBins);
+  static const char* kLabels[kNumBins] = {
+      "bin-1 (<=100MB, <=10)", "bin-2 (<=100MB, >10)",
+      "bin-3 (>100MB, <=10)", "bin-4 (>100MB, >10)"};
+  return kLabels[bin];
+}
+
+BinnedSpeedup binned_speedup(const SimResult& scheme,
+                             const SimResult& baseline) {
+  const auto speedups = scheme.speedup_over(baseline);
+  std::array<std::vector<double>, kNumBins> per_bin;
+  for (std::size_t i = 0; i < scheme.coflows.size(); ++i) {
+    per_bin[static_cast<std::size_t>(bin_of(scheme.coflows[i]))].push_back(
+        speedups[i]);
+  }
+  BinnedSpeedup out;
+  for (int b = 0; b < kNumBins; ++b) {
+    const auto& v = per_bin[static_cast<std::size_t>(b)];
+    out.count[static_cast<std::size_t>(b)] = v.size();
+    out.fraction[static_cast<std::size_t>(b)] =
+        scheme.coflows.empty()
+            ? 0.0
+            : static_cast<double>(v.size()) /
+                  static_cast<double>(scheme.coflows.size());
+    out.median_speedup[static_cast<std::size_t>(b)] =
+        v.empty() ? 0.0 : percentile(v, 50);
+  }
+  return out;
+}
+
+}  // namespace saath

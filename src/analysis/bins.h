@@ -1,0 +1,39 @@
+// Table 1 binning: CoFlows grouped by total size and width.
+//
+//                 width <= 10   width > 10
+//   size <= 100MB    bin-1         bin-2
+//   size >  100MB    bin-3         bin-4
+//
+// Fig 11/12 report the median speedup over Aalo separately per bin.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/result.h"
+
+namespace saath {
+
+inline constexpr int kNumBins = 4;
+inline constexpr Bytes kBinSizeBoundary = 100 * kMB;
+inline constexpr int kBinWidthBoundary = 10;
+
+/// 0-based bin index (bin-1 -> 0 ... bin-4 -> 3).
+[[nodiscard]] int bin_of(Bytes total_bytes, int width);
+[[nodiscard]] int bin_of(const CoflowRecord& record);
+
+[[nodiscard]] std::string bin_label(int bin);
+
+struct BinnedSpeedup {
+  std::array<double, kNumBins> median_speedup{};
+  std::array<std::size_t, kNumBins> count{};
+  std::array<double, kNumBins> fraction{};
+};
+
+/// Median per-CoFlow speedup of `scheme` over `baseline`, split by bin.
+/// Bins with no CoFlows report a median of 0.
+[[nodiscard]] BinnedSpeedup binned_speedup(const SimResult& scheme,
+                                           const SimResult& baseline);
+
+}  // namespace saath

@@ -1,0 +1,27 @@
+#include "analysis/deviation.h"
+
+#include "common/stats.h"
+
+namespace saath {
+
+DeviationCdfs fct_deviation(const SimResult& result) {
+  DeviationCdfs out;
+  for (const auto& c : result.coflows) {
+    if (c.width <= 1) continue;
+    const double dev = normalized_stddev(c.flow_fcts_seconds);
+    if (c.equal_flow_lengths) {
+      out.equal_length.push_back(dev);
+    } else {
+      out.unequal_length.push_back(dev);
+    }
+  }
+  return out;
+}
+
+double fraction_fully_synchronized(const SimResult& result, double tolerance) {
+  const auto cdfs = fct_deviation(result);
+  if (cdfs.equal_length.empty()) return 0.0;
+  return fraction_at_most(cdfs.equal_length, tolerance);
+}
+
+}  // namespace saath

@@ -1,0 +1,28 @@
+// Out-of-sync analysis (Fig 2c, Fig 13): for each multi-flow CoFlow, the
+// standard deviation of its flows' completion times normalized by their
+// mean. A perfectly synchronized CoFlow scores 0; a high score means some
+// flows finished long before the last one — wasted port time.
+#pragma once
+
+#include <vector>
+
+#include "sim/result.h"
+
+namespace saath {
+
+struct DeviationCdfs {
+  /// One normalized-FCT-deviation sample per multi-flow CoFlow, split by
+  /// whether the CoFlow's *flow lengths* were equal (isolating scheduling
+  /// skew from inherent size skew, as Fig 2c does).
+  std::vector<double> equal_length;
+  std::vector<double> unequal_length;
+};
+
+[[nodiscard]] DeviationCdfs fct_deviation(const SimResult& result);
+
+/// Fraction of multi-flow equal-length CoFlows whose flows all finished
+/// simultaneously (deviation below `tolerance`) — the Fig 13 headline.
+[[nodiscard]] double fraction_fully_synchronized(const SimResult& result,
+                                                 double tolerance = 1e-3);
+
+}  // namespace saath

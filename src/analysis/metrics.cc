@@ -1,0 +1,49 @@
+#include "analysis/metrics.h"
+
+#include "common/expect.h"
+#include "common/stats.h"
+#include "sched/factory.h"
+
+namespace saath {
+
+SpeedupSummary summarize_speedup(const SimResult& scheme,
+                                 const SimResult& baseline) {
+  const auto speedups = scheme.speedup_over(baseline);
+  SAATH_EXPECTS(!speedups.empty());
+  SpeedupSummary s;
+  s.scheme = scheme.scheduler;
+  s.baseline = baseline.scheduler;
+  s.coflows = speedups.size();
+  s.p10 = percentile(speedups, 10);
+  s.median = percentile(speedups, 50);
+  s.p90 = percentile(speedups, 90);
+  s.mean = mean(speedups);
+  const auto scheme_ccts = scheme.ccts_seconds();
+  const auto base_ccts = baseline.ccts_seconds();
+  s.overall = mean(base_ccts) / mean(scheme_ccts);
+  return s;
+}
+
+std::map<std::string, SimResult> run_schedulers(
+    const trace::Trace& trace, const std::vector<std::string>& names,
+    const SimConfig& config, double deadline_factor) {
+  std::map<std::string, SimResult> results;
+  for (const auto& name : names) {
+    SchedulerOptions options;
+    options.deadline_factor = deadline_factor;
+    auto scheduler = make_scheduler(name, options);
+    SimConfig cfg = config;
+    if (name == "uc-tcp") {
+      // UC-TCP has no coordinator: its rates only change on arrivals and
+      // completions (TCP re-converges immediately), so simulate it with
+      // completion-triggered reallocation and a coarse epoch instead of
+      // paying the 8ms coordinator cadence it does not have.
+      cfg.reallocate_on_completion = true;
+      cfg.delta = std::max<SimTime>(config.delta * 8, msec(50));
+    }
+    results.emplace(name, simulate(trace, *scheduler, cfg));
+  }
+  return results;
+}
+
+}  // namespace saath

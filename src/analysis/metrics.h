@@ -1,0 +1,41 @@
+// Evaluation metrics (§6.1).
+//
+// The paper's headline metric is *speedup*: for each CoFlow, the ratio of
+// its CCT under a baseline policy to its CCT under the evaluated policy
+// (> 1 means the evaluated policy is faster). Figures report the median and
+// the 10th/90th percentiles of the per-CoFlow speedup distribution.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/result.h"
+
+namespace saath {
+
+struct SpeedupSummary {
+  std::string scheme;
+  std::string baseline;
+  std::size_t coflows = 0;
+  double p10 = 0;
+  double median = 0;
+  double p90 = 0;
+  double mean = 0;
+  /// Ratio of average CCTs (baseline avg / scheme avg) — the "overall CCT"
+  /// improvement of Fig 3(b).
+  double overall = 0;
+};
+
+/// Per-CoFlow speedup distribution of `scheme` relative to `baseline`.
+[[nodiscard]] SpeedupSummary summarize_speedup(const SimResult& scheme,
+                                               const SimResult& baseline);
+
+/// Runs every named scheduler on `trace` with the same config; returns
+/// results keyed by scheduler name.
+[[nodiscard]] std::map<std::string, SimResult> run_schedulers(
+    const trace::Trace& trace, const std::vector<std::string>& names,
+    const SimConfig& config = {}, double deadline_factor = 2.0);
+
+}  // namespace saath

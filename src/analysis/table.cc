@@ -1,0 +1,61 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace saath {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SAATH_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SAATH_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "| ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i])) << row[i]
+          << " | ";
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  out << "|";
+  for (std::size_t w : widths) out << std::string(w + 2, '-') << "-|";
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+void print_cdf(std::ostream& out, const std::string& title,
+               const std::vector<CdfPoint>& cdf) {
+  out << "# " << title << "\n";
+  for (const auto& p : cdf) {
+    out << fmt(p.value, 4) << ' ' << fmt(p.fraction, 4) << '\n';
+  }
+}
+
+}  // namespace saath

@@ -1,0 +1,33 @@
+// Plain-text rendering for benchmark output: fixed-width tables and CDF
+// dumps that mirror the paper's figures as rows/series on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace saath {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Prints "value fraction" pairs for gnuplot-style consumption, preceded by
+/// a "# <title>" header.
+void print_cdf(std::ostream& out, const std::string& title,
+               const std::vector<CdfPoint>& cdf);
+
+}  // namespace saath

@@ -1,0 +1,170 @@
+#include "coflow/coflow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace saath {
+
+Bytes CoflowSpec::total_bytes() const {
+  Bytes sum = 0;
+  for (const auto& f : flows) sum += f.size;
+  return sum;
+}
+
+Bytes CoflowSpec::max_flow_bytes() const {
+  Bytes m = 0;
+  for (const auto& f : flows) m = std::max(m, f.size);
+  return m;
+}
+
+FlowState::FlowState(FlowId id, const FlowSpec& spec)
+    : id_(id), src_(spec.src), dst_(spec.dst), size_(static_cast<double>(spec.size)) {
+  SAATH_EXPECTS(spec.src >= 0);
+  SAATH_EXPECTS(spec.dst >= 0);
+  SAATH_EXPECTS(spec.size >= 0);
+  // Zero-byte flows complete instantly on arrival; the engine handles that.
+}
+
+void FlowState::advance(SimTime dt) {
+  SAATH_EXPECTS(dt >= 0);
+  if (finished_ || rate_ <= 0) return;
+  sent_ = std::min(size_, sent_ + rate_ * to_seconds(dt));
+}
+
+void FlowState::complete(SimTime now) {
+  SAATH_EXPECTS(!finished_);
+  sent_ = size_;
+  rate_ = 0;
+  finished_ = true;
+  finish_time_ = now;
+}
+
+double FlowState::restart() {
+  SAATH_EXPECTS(!finished_);
+  const double lost = sent_;
+  sent_ = 0;
+  rate_ = 0;
+  return lost;
+}
+
+double FlowState::seconds_to_finish() const {
+  if (finished_) return 0.0;
+  if (rate_ <= 0) return std::numeric_limits<double>::infinity();
+  return (size_ - sent_) / rate_;
+}
+
+namespace {
+
+void add_load(std::vector<PortLoad>& loads, PortIndex port) {
+  for (auto& l : loads) {
+    if (l.port == port) {
+      ++l.unfinished_flows;
+      return;
+    }
+  }
+  loads.push_back({port, 1});
+}
+
+void drop_load(std::vector<PortLoad>& loads, PortIndex port) {
+  for (auto& l : loads) {
+    if (l.port == port) {
+      SAATH_EXPECTS(l.unfinished_flows > 0);
+      --l.unfinished_flows;
+      return;
+    }
+  }
+  SAATH_EXPECTS(false && "port not found in load list");
+}
+
+}  // namespace
+
+CoflowState::CoflowState(const CoflowSpec& spec, FlowId first_flow_id)
+    : spec_(spec) {
+  SAATH_EXPECTS(!spec.flows.empty());
+  flows_.reserve(spec.flows.size());
+  std::int64_t next = first_flow_id.value;
+  for (const auto& fs : spec.flows) {
+    flows_.emplace_back(FlowId{next++}, fs);
+    add_load(senders_, fs.src);
+    add_load(receivers_, fs.dst);
+  }
+  unfinished_ = static_cast<int>(flows_.size());
+}
+
+SimTime CoflowState::completion_time() const {
+  SAATH_EXPECTS(finished());
+  return finish_time_ - spec_.arrival;
+}
+
+double CoflowState::max_flow_sent() const {
+  double m = 0;
+  for (const auto& f : flows_) m = std::max(m, f.sent());
+  return m;
+}
+
+double CoflowState::total_remaining() const {
+  double rem = 0;
+  for (const auto& f : flows_) rem += f.remaining();
+  return rem;
+}
+
+double CoflowState::bottleneck_seconds(Rate port_bandwidth) const {
+  SAATH_EXPECTS(port_bandwidth > 0);
+  // Remaining bytes aggregated per port in one pass over the flows; Γ is
+  // the worst port at line rate. The per-port accumulators live in the
+  // (small) load lists: index them once instead of rescanning flows per
+  // port, which matters for wide CoFlows on the clairvoyant paths that
+  // call this every epoch.
+  std::vector<double> send_bytes(senders_.size(), 0.0);
+  std::vector<double> recv_bytes(receivers_.size(), 0.0);
+  auto index_of = [](const std::vector<PortLoad>& loads, PortIndex port) {
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (loads[i].port == port) return i;
+    }
+    SAATH_EXPECTS(false && "flow port missing from load list");
+    return std::size_t{0};
+  };
+  for (const auto& f : flows_) {
+    if (f.finished()) continue;
+    send_bytes[index_of(senders_, f.src())] += f.remaining();
+    recv_bytes[index_of(receivers_, f.dst())] += f.remaining();
+  }
+  double worst = 0;
+  for (double b : send_bytes) worst = std::max(worst, b);
+  for (double b : recv_bytes) worst = std::max(worst, b);
+  return worst / port_bandwidth;
+}
+
+void CoflowState::advance_all(SimTime dt) {
+  for (auto& f : flows_) {
+    if (f.finished() || f.rate() <= 0) continue;
+    const double before = f.sent();
+    f.advance(dt);
+    total_sent_ += f.sent() - before;
+  }
+}
+
+int CoflowState::restart_flows_on_port(PortIndex port) {
+  int restarted = 0;
+  for (auto& f : flows_) {
+    if (f.finished() || (f.src() != port && f.dst() != port)) continue;
+    total_sent_ -= f.restart();
+    ++restarted;
+  }
+  return restarted;
+}
+
+void CoflowState::on_flow_complete(FlowState& flow, SimTime now) {
+  SAATH_EXPECTS(!flow.finished());
+  total_sent_ += flow.remaining();
+  flow.complete(now);
+  drop_load(senders_, flow.src());
+  drop_load(receivers_, flow.dst());
+  finished_lengths_.push_back(flow.size());
+  --unfinished_;
+  if (unfinished_ == 0) finish_time_ = now;
+}
+
+}  // namespace saath

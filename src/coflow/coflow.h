@@ -1,0 +1,154 @@
+// CoFlow abstraction (§2.1).
+//
+// A CoFlow is a set of semantically synchronized flows between network
+// ports; its completion time (CCT) is the span from arrival to the finish of
+// its last flow. CoflowSpec/FlowSpec are immutable trace-level descriptions;
+// FlowState/CoflowState carry the mutable simulation state the engine and
+// schedulers operate on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "common/units.h"
+
+namespace saath {
+
+/// Immutable description of one flow: src sender port -> dst receiver port.
+struct FlowSpec {
+  PortIndex src = kInvalidPort;
+  PortIndex dst = kInvalidPort;
+  Bytes size = 0;
+};
+
+/// Immutable description of one CoFlow as it appears in a trace.
+struct CoflowSpec {
+  CoflowId id;
+  SimTime arrival = 0;
+  std::vector<FlowSpec> flows;
+  /// Optional job linkage for DAG / JCT experiments.
+  JobId job;
+  int stage = 0;
+
+  [[nodiscard]] int width() const { return static_cast<int>(flows.size()); }
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] Bytes max_flow_bytes() const;
+};
+
+/// Mutable per-flow simulation state.
+class FlowState {
+ public:
+  FlowState(FlowId id, const FlowSpec& spec);
+
+  [[nodiscard]] FlowId id() const { return id_; }
+  [[nodiscard]] PortIndex src() const { return src_; }
+  [[nodiscard]] PortIndex dst() const { return dst_; }
+  [[nodiscard]] double size() const { return size_; }
+  [[nodiscard]] double sent() const { return sent_; }
+  [[nodiscard]] double remaining() const { return size_ - sent_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+
+  [[nodiscard]] Rate rate() const { return rate_; }
+  void set_rate(Rate r) { rate_ = r; }
+
+  /// Advances the fluid model by dt at the current rate.
+  void advance(SimTime dt);
+  /// Marks the flow complete at `now` (engine computes the exact instant).
+  void complete(SimTime now);
+  /// Task restart after a node failure: all progress is lost (§4.3).
+  /// Returns the bytes that were discarded.
+  double restart();
+
+  /// Seconds to completion at the current rate; +inf when rate is 0.
+  [[nodiscard]] double seconds_to_finish() const;
+
+ private:
+  FlowId id_;
+  PortIndex src_;
+  PortIndex dst_;
+  double size_;
+  double sent_ = 0;
+  Rate rate_ = 0;
+  bool finished_ = false;
+  SimTime finish_time_ = kNever;
+};
+
+/// How many unfinished flows a CoFlow has on a given port.
+struct PortLoad {
+  PortIndex port = kInvalidPort;
+  int unfinished_flows = 0;
+};
+
+/// Mutable per-CoFlow simulation state. Owns its FlowStates.
+class CoflowState {
+ public:
+  CoflowState(const CoflowSpec& spec, FlowId first_flow_id);
+
+  [[nodiscard]] const CoflowSpec& spec() const { return spec_; }
+  [[nodiscard]] CoflowId id() const { return spec_.id; }
+  [[nodiscard]] SimTime arrival() const { return spec_.arrival; }
+  [[nodiscard]] int width() const { return spec_.width(); }
+
+  [[nodiscard]] std::span<FlowState> flows() { return flows_; }
+  [[nodiscard]] std::span<const FlowState> flows() const { return flows_; }
+
+  [[nodiscard]] bool finished() const { return unfinished_ == 0; }
+  [[nodiscard]] int unfinished_flows() const { return unfinished_; }
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+  [[nodiscard]] SimTime completion_time() const;
+
+  /// Total bytes sent across all flows so far (Aalo's queueing metric).
+  [[nodiscard]] double total_sent() const { return total_sent_; }
+  /// Max bytes sent by any single flow (Saath's per-flow queue metric, m_c).
+  [[nodiscard]] double max_flow_sent() const;
+  [[nodiscard]] double total_remaining() const;
+
+  /// Distinct sender/receiver ports still carrying unfinished flows.
+  /// Entries with unfinished_flows == 0 remain in the list (stable order) and
+  /// must be skipped by callers; active_* iterate for convenience.
+  [[nodiscard]] std::span<const PortLoad> sender_loads() const { return senders_; }
+  [[nodiscard]] std::span<const PortLoad> receiver_loads() const { return receivers_; }
+
+  /// Bottleneck time at full port bandwidth over remaining bytes — the SEBF
+  /// metric Γ (max over ports of remaining port bytes / bandwidth).
+  [[nodiscard]] double bottleneck_seconds(Rate port_bandwidth) const;
+
+  /// Engine hooks --------------------------------------------------------
+  void advance_all(SimTime dt);
+  /// Completes `flow` at `now`, updating port loads and finish bookkeeping.
+  void on_flow_complete(FlowState& flow, SimTime now);
+  /// Node failure on `port`: restarts every unfinished flow touching it.
+  /// Returns the number of flows restarted.
+  int restart_flows_on_port(PortIndex port);
+
+  /// Scheduler-owned annotations ------------------------------------------
+  int queue_index = 0;
+  SimTime queue_entered_at = 0;
+  SimTime deadline = kNever;
+  /// Set when a failure/straggler/restart touched this CoFlow (§4.3).
+  bool dynamics_flagged = false;
+  /// Data-availability gate (§4.3 pipelining): flows before this count are
+  /// ready; engine-level injectors may hold data back.
+  bool data_available = true;
+
+  /// Lengths (bytes) of flows that already finished; used by the §4.3
+  /// approximate-SRTF estimator.
+  [[nodiscard]] std::span<const double> finished_flow_lengths() const {
+    return finished_lengths_;
+  }
+
+ private:
+  CoflowSpec spec_;
+  std::vector<FlowState> flows_;
+  std::vector<PortLoad> senders_;
+  std::vector<PortLoad> receivers_;
+  std::vector<double> finished_lengths_;
+  double total_sent_ = 0;
+  int unfinished_ = 0;
+  SimTime finish_time_ = kNever;
+};
+
+}  // namespace saath

@@ -1,0 +1,81 @@
+#include "coflow/job.h"
+
+#include <stdexcept>
+
+#include "common/expect.h"
+
+namespace saath {
+
+void JobSpec::validate() const {
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    for (int dep : stages[i].deps) {
+      if (dep < 0 || static_cast<std::size_t>(dep) >= i) {
+        throw std::invalid_argument(
+            "JobSpec: stage dependencies must reference earlier stages");
+      }
+    }
+    if (stages[i].flows.empty()) {
+      throw std::invalid_argument("JobSpec: stage has no flows");
+    }
+  }
+}
+
+JobTracker::JobTracker(JobSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  status_.assign(spec_.stages.size(), StageStatus::kWaiting);
+}
+
+std::vector<int> JobTracker::ready_stages() const {
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < spec_.stages.size(); ++i) {
+    if (status_[i] != StageStatus::kWaiting) continue;
+    bool deps_done = true;
+    for (int dep : spec_.stages[i].deps) {
+      if (status_[static_cast<std::size_t>(dep)] != StageStatus::kFinished) {
+        deps_done = false;
+        break;
+      }
+    }
+    if (deps_done) ready.push_back(static_cast<int>(i));
+  }
+  return ready;
+}
+
+void JobTracker::mark_released(int stage) {
+  SAATH_EXPECTS(stage >= 0 &&
+                static_cast<std::size_t>(stage) < status_.size());
+  SAATH_EXPECTS(status_[static_cast<std::size_t>(stage)] ==
+                StageStatus::kWaiting);
+  status_[static_cast<std::size_t>(stage)] = StageStatus::kReleased;
+}
+
+std::vector<int> JobTracker::mark_finished(int stage, SimTime now) {
+  SAATH_EXPECTS(stage >= 0 &&
+                static_cast<std::size_t>(stage) < status_.size());
+  SAATH_EXPECTS(status_[static_cast<std::size_t>(stage)] ==
+                StageStatus::kReleased);
+  status_[static_cast<std::size_t>(stage)] = StageStatus::kFinished;
+  if (++finished_count_ == static_cast<int>(status_.size())) {
+    finish_time_ = now;
+  }
+  return ready_stages();
+}
+
+bool JobTracker::all_finished() const {
+  return finished_count_ == static_cast<int>(status_.size());
+}
+
+CoflowSpec JobTracker::make_coflow(int stage, CoflowId id,
+                                   SimTime release_time) const {
+  SAATH_EXPECTS(stage >= 0 &&
+                static_cast<std::size_t>(stage) < spec_.stages.size());
+  CoflowSpec c;
+  c.id = id;
+  c.arrival = release_time;
+  c.flows = spec_.stages[static_cast<std::size_t>(stage)].flows;
+  c.job = spec_.id;
+  c.stage = stage;
+  return c;
+}
+
+}  // namespace saath

@@ -1,0 +1,64 @@
+// Multi-stage job (DAG) model (§4.3).
+//
+// An analytics query is a DAG of stages; Saath represents each stage (or
+// each wave of a multi-wave stage) as one CoFlow and releases a stage's
+// CoFlow only when all of its dependency stages have completed. JobSpec
+// captures the static DAG; JobTracker performs the release bookkeeping for
+// the engine.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "coflow/coflow.h"
+
+namespace saath {
+
+/// One DAG stage: its shuffle flows plus the indices of stages it waits on.
+struct StageSpec {
+  std::vector<FlowSpec> flows;
+  std::vector<int> deps;
+};
+
+struct JobSpec {
+  JobId id;
+  SimTime arrival = 0;
+  std::vector<StageSpec> stages;
+
+  /// Validates that deps reference earlier-declared stages only (acyclic by
+  /// construction). Throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+/// Tracks stage completion and computes which stages become runnable.
+class JobTracker {
+ public:
+  explicit JobTracker(JobSpec spec);
+
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+
+  /// Stages runnable right now (all deps done, not yet released).
+  [[nodiscard]] std::vector<int> ready_stages() const;
+
+  /// Marks a stage released (its CoFlow handed to the scheduler).
+  void mark_released(int stage);
+  /// Marks a stage's CoFlow finished at `now`; returns newly ready stages.
+  std::vector<int> mark_finished(int stage, SimTime now);
+
+  [[nodiscard]] bool all_finished() const;
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+
+  /// Builds the CoflowSpec for `stage`, stamped with job linkage.
+  [[nodiscard]] CoflowSpec make_coflow(int stage, CoflowId id,
+                                       SimTime release_time) const;
+
+ private:
+  enum class StageStatus { kWaiting, kReleased, kFinished };
+
+  JobSpec spec_;
+  std::vector<StageStatus> status_;
+  int finished_count_ = 0;
+  SimTime finish_time_ = kNever;
+};
+
+}  // namespace saath

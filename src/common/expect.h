@@ -1,0 +1,28 @@
+// Precondition / postcondition checking in the spirit of GSL Expects/Ensures.
+//
+// Violations indicate programming errors, not recoverable conditions, so they
+// terminate via std::abort after printing the failed expression and location.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace saath::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace saath::detail
+
+#define SAATH_EXPECTS(cond)                                                  \
+  ((cond) ? void(0)                                                          \
+          : ::saath::detail::contract_violation("precondition", #cond,       \
+                                                __FILE__, __LINE__))
+
+#define SAATH_ENSURES(cond)                                                  \
+  ((cond) ? void(0)                                                          \
+          : ::saath::detail::contract_violation("postcondition", #cond,      \
+                                                __FILE__, __LINE__))

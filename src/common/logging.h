@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr (printf-style; libstdc++ 12 has no
+// <format> yet).
+//
+// The simulator is a library first; logging defaults to warnings-only so
+// that benchmarks and tests stay quiet, and callers opt in to more.
+#pragma once
+
+namespace saath {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level. Not thread-safe by design: set it once at
+/// startup before spawning work.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define SAATH_LOG_DEBUG(...) ::saath::log(::saath::LogLevel::kDebug, __VA_ARGS__)
+#define SAATH_LOG_INFO(...) ::saath::log(::saath::LogLevel::kInfo, __VA_ARGS__)
+#define SAATH_LOG_WARN(...) ::saath::log(::saath::LogLevel::kWarn, __VA_ARGS__)
+#define SAATH_LOG_ERROR(...) ::saath::log(::saath::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace saath

@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace saath {
+
+double percentile(std::span<const double> values, double p) {
+  SAATH_EXPECTS(!values.empty());
+  SAATH_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  SAATH_EXPECTS(!values.empty());
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  SAATH_EXPECTS(!values.empty());
+  const double m = mean(values);
+  double acc = 0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double normalized_stddev(std::span<const double> values) {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return stddev(values) / m;
+}
+
+Summary summarize(std::span<const double> values) {
+  SAATH_EXPECTS(!values.empty());
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.p10 = percentile(values, 10);
+  s.p50 = percentile(values, 50);
+  s.p90 = percentile(values, 90);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                    std::size_t max_points) {
+  SAATH_EXPECTS(max_points >= 2);
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    cdf.push_back({values[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (cdf.back().value != values.back() || cdf.back().fraction != 1.0) {
+    cdf.push_back({values.back(), 1.0});
+  }
+  return cdf;
+}
+
+double fraction_at_most(std::span<const double> values, double threshold) {
+  SAATH_EXPECTS(!values.empty());
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v <= threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+}  // namespace saath

@@ -1,0 +1,51 @@
+// Descriptive statistics used throughout the evaluation harness:
+// percentiles, summaries, CDF extraction and normalized deviation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace saath {
+
+/// p-th percentile (p in [0,100]) by linear interpolation between order
+/// statistics. Empty input is a precondition violation.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// stddev / mean; returns 0 for a zero mean (all-zero inputs).
+[[nodiscard]] double normalized_stddev(std::span<const double> values);
+
+/// Five-point summary of a sample, the shape every paper figure reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double p10 = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0;
+  double fraction = 0;  // P(X <= value)
+};
+
+/// Empirical CDF down-sampled to at most `max_points` evenly spaced points.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> values,
+                                                  std::size_t max_points = 200);
+
+/// Fraction of samples <= threshold.
+[[nodiscard]] double fraction_at_most(std::span<const double> values,
+                                      double threshold);
+
+}  // namespace saath

@@ -1,0 +1,23 @@
+// Simulated time. All simulation timestamps and durations are integral
+// microseconds; helpers below keep call sites unit-explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace saath {
+
+/// Simulated time or duration in microseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNever = -1;
+
+[[nodiscard]] constexpr SimTime usec(std::int64_t n) { return n; }
+[[nodiscard]] constexpr SimTime msec(std::int64_t n) { return n * 1000; }
+[[nodiscard]] constexpr SimTime seconds(std::int64_t n) { return n * 1'000'000; }
+
+/// Converts a SimTime to floating-point seconds, for reporting only.
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace saath

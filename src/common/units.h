@@ -1,0 +1,25 @@
+// Byte-size and bandwidth units.
+//
+// Sizes are int64 bytes in specs and double bytes while in flight (the engine
+// is a fluid simulation). Rates are double bytes/second.
+#pragma once
+
+#include <cstdint>
+
+namespace saath {
+
+using Bytes = std::int64_t;
+/// Bandwidth or transfer rate in bytes per second.
+using Rate = double;
+
+inline constexpr Bytes kKB = 1'000;
+inline constexpr Bytes kMB = 1'000'000;
+inline constexpr Bytes kGB = 1'000'000'000;
+inline constexpr Bytes kTB = 1'000'000'000'000;
+
+/// 1 Gbps expressed in bytes/second — the paper's per-port link capacity.
+inline constexpr Rate kGbps = 125.0e6;
+
+[[nodiscard]] constexpr Rate gbps(double n) { return n * kGbps; }
+
+}  // namespace saath

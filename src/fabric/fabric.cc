@@ -1,0 +1,82 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace saath {
+
+Fabric::Fabric(int num_ports, Rate port_bandwidth)
+    : num_ports_(num_ports),
+      port_bandwidth_(port_bandwidth),
+      capacity_factor_(static_cast<std::size_t>(num_ports), 1.0),
+      send_remaining_(static_cast<std::size_t>(num_ports), port_bandwidth),
+      recv_remaining_(static_cast<std::size_t>(num_ports), port_bandwidth) {
+  SAATH_EXPECTS(num_ports > 0);
+  SAATH_EXPECTS(port_bandwidth > 0);
+}
+
+void Fabric::reset() {
+  for (PortIndex p = 0; p < num_ports_; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    send_remaining_[i] = port_bandwidth_ * capacity_factor_[i];
+    recv_remaining_[i] = port_bandwidth_ * capacity_factor_[i];
+  }
+}
+
+void Fabric::set_port_capacity_factor(PortIndex p, double factor) {
+  check_port(p);
+  SAATH_EXPECTS(factor >= 0.0 && factor <= 1.0);
+  capacity_factor_[static_cast<std::size_t>(p)] = factor;
+}
+
+Rate Fabric::send_capacity(PortIndex p) const {
+  check_port(p);
+  return port_bandwidth_ * capacity_factor_[static_cast<std::size_t>(p)];
+}
+
+Rate Fabric::recv_capacity(PortIndex p) const {
+  check_port(p);
+  return port_bandwidth_ * capacity_factor_[static_cast<std::size_t>(p)];
+}
+
+void Fabric::check_port(PortIndex p) const {
+  SAATH_EXPECTS(p >= 0 && p < num_ports_);
+}
+
+Rate Fabric::send_remaining(PortIndex p) const {
+  check_port(p);
+  return send_remaining_[static_cast<std::size_t>(p)];
+}
+
+Rate Fabric::recv_remaining(PortIndex p) const {
+  check_port(p);
+  return recv_remaining_[static_cast<std::size_t>(p)];
+}
+
+bool Fabric::available(PortIndex src, PortIndex dst, Rate eps) const {
+  return send_remaining(src) > eps && recv_remaining(dst) > eps;
+}
+
+void Fabric::consume(PortIndex src, PortIndex dst, Rate rate) {
+  check_port(src);
+  check_port(dst);
+  SAATH_EXPECTS(rate >= 0);
+  auto& s = send_remaining_[static_cast<std::size_t>(src)];
+  auto& r = recv_remaining_[static_cast<std::size_t>(dst)];
+  // Allocators work in floating point; tolerate (and clamp away) rounding
+  // overdraw up to a small fraction of the port bandwidth.
+  const Rate slack = port_bandwidth_ * 1e-9;
+  SAATH_EXPECTS(rate <= s + slack);
+  SAATH_EXPECTS(rate <= r + slack);
+  s = std::max(0.0, s - rate);
+  r = std::max(0.0, r - rate);
+}
+
+Rate Fabric::total_allocated() const {
+  Rate used = 0;
+  for (Rate rem : send_remaining_) used += port_bandwidth_ - rem;
+  return used;
+}
+
+}  // namespace saath

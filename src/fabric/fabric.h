@@ -1,0 +1,65 @@
+// Datacenter fabric model.
+//
+// The paper's simulation assumes full bisection bandwidth: congestion happens
+// only at the sender (uplink) and receiver (downlink) access ports. The
+// Fabric therefore tracks one bandwidth budget per sender port and one per
+// receiver port; schedulers allocate flow rates against those budgets each
+// scheduling epoch.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace saath {
+
+class Fabric {
+ public:
+  /// A fabric with `num_ports` machines, each with a sender uplink and a
+  /// receiver downlink of `port_bandwidth` bytes/sec.
+  Fabric(int num_ports, Rate port_bandwidth);
+
+  [[nodiscard]] int num_ports() const { return num_ports_; }
+  [[nodiscard]] Rate port_bandwidth() const { return port_bandwidth_; }
+
+  /// Resets all budgets to full (factor-scaled) capacity; called at the top
+  /// of every scheduling epoch.
+  void reset();
+
+  /// Degrades (or restores) a machine's uplink+downlink to `factor` of the
+  /// nominal bandwidth — the straggler model of §4.3.
+  void set_port_capacity_factor(PortIndex p, double factor);
+
+  /// Effective capacity of a port this epoch (nominal x factor).
+  [[nodiscard]] Rate send_capacity(PortIndex p) const;
+  [[nodiscard]] Rate recv_capacity(PortIndex p) const;
+
+  [[nodiscard]] Rate send_remaining(PortIndex p) const;
+  [[nodiscard]] Rate recv_remaining(PortIndex p) const;
+
+  /// True if both endpoints still have > eps bandwidth to give.
+  [[nodiscard]] bool available(PortIndex src, PortIndex dst, Rate eps = 0) const;
+
+  /// Consumes `rate` from src's uplink and dst's downlink. Callers must not
+  /// overdraw; a tiny epsilon of floating-point slack is tolerated and
+  /// clamped.
+  void consume(PortIndex src, PortIndex dst, Rate rate);
+
+  /// Sum of allocated (not remaining) bandwidth across sender uplinks.
+  [[nodiscard]] Rate total_allocated() const;
+
+  /// Rounding slack used by all schedulers when comparing rates to zero.
+  static constexpr Rate kRateEpsilon = 1e-6;
+
+ private:
+  void check_port(PortIndex p) const;
+
+  int num_ports_;
+  Rate port_bandwidth_;
+  std::vector<double> capacity_factor_;
+  std::vector<Rate> send_remaining_;
+  std::vector<Rate> recv_remaining_;
+};
+
+}  // namespace saath

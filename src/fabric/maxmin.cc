@@ -1,0 +1,119 @@
+#include "fabric/maxmin.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace saath {
+
+namespace {
+
+// One side of the bipartite constraint graph during progressive filling.
+struct PortState {
+  Rate remaining = 0;
+  int active_flows = 0;
+};
+
+}  // namespace
+
+std::vector<Rate> maxmin_fair_rates(std::span<const MaxMinDemand> demands,
+                                    std::span<const Rate> send_caps,
+                                    std::span<const Rate> recv_caps) {
+  SAATH_EXPECTS(!send_caps.empty());
+  SAATH_EXPECTS(send_caps.size() == recv_caps.size());
+  const int num_ports = static_cast<int>(send_caps.size());
+
+  const std::size_t n = demands.size();
+  std::vector<Rate> rates(n, 0.0);
+  if (n == 0) return rates;
+
+  Rate max_cap = 0;
+  std::vector<PortState> send(send_caps.size());
+  std::vector<PortState> recv(recv_caps.size());
+  for (std::size_t p = 0; p < send_caps.size(); ++p) {
+    SAATH_EXPECTS(send_caps[p] >= 0 && recv_caps[p] >= 0);
+    send[p].remaining = send_caps[p];
+    recv[p].remaining = recv_caps[p];
+    max_cap = std::max({max_cap, send_caps[p], recv_caps[p]});
+  }
+
+  std::vector<bool> frozen(n, false);
+  std::size_t unfrozen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& d = demands[i];
+    SAATH_EXPECTS(d.src >= 0 && d.src < num_ports);
+    SAATH_EXPECTS(d.dst >= 0 && d.dst < num_ports);
+    if (d.cap > 0 && d.cap <= 1e-12) {
+      // Degenerate cap: flow cannot make progress this epoch.
+      frozen[i] = true;
+      continue;
+    }
+    ++send[static_cast<std::size_t>(d.src)].active_flows;
+    ++recv[static_cast<std::size_t>(d.dst)].active_flows;
+    ++unfrozen;
+  }
+
+  // Progressive filling. Each round freezes at least one flow (either at a
+  // bottleneck port's fair share or at its own cap), so it terminates in at
+  // most n rounds.
+  while (unfrozen > 0) {
+    // The binding increment this round: the smallest of (a) any port's equal
+    // share among its unfrozen flows, (b) any unfrozen flow's distance to cap.
+    double increment = std::numeric_limits<double>::infinity();
+    for (int side = 0; side < 2; ++side) {
+      const auto& ports = side == 0 ? send : recv;
+      for (const auto& p : ports) {
+        if (p.active_flows > 0) {
+          increment = std::min(increment, p.remaining / p.active_flows);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      if (demands[i].cap > 0) {
+        increment = std::min(increment, demands[i].cap - rates[i]);
+      }
+    }
+    SAATH_ENSURES(increment >= 0);
+
+    // Apply the increment to every unfrozen flow and charge the ports.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      rates[i] += increment;
+      send[static_cast<std::size_t>(demands[i].src)].remaining -= increment;
+      recv[static_cast<std::size_t>(demands[i].dst)].remaining -= increment;
+    }
+
+    // Freeze flows that hit their cap or sit on an exhausted port.
+    constexpr double kEps = 1e-9;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      const auto& d = demands[i];
+      const bool at_cap = d.cap > 0 && rates[i] >= d.cap - d.cap * kEps;
+      const bool src_full =
+          send[static_cast<std::size_t>(d.src)].remaining <= max_cap * kEps;
+      const bool dst_full =
+          recv[static_cast<std::size_t>(d.dst)].remaining <= max_cap * kEps;
+      if (at_cap || src_full || dst_full) {
+        frozen[i] = true;
+        --send[static_cast<std::size_t>(d.src)].active_flows;
+        --recv[static_cast<std::size_t>(d.dst)].active_flows;
+        --unfrozen;
+      }
+    }
+  }
+  return rates;
+}
+
+std::vector<Rate> maxmin_fair_rates(std::span<const MaxMinDemand> demands,
+                                    int num_ports, Rate port_bandwidth) {
+  SAATH_EXPECTS(num_ports > 0);
+  SAATH_EXPECTS(port_bandwidth > 0);
+  const std::vector<Rate> caps(static_cast<std::size_t>(num_ports),
+                               port_bandwidth);
+  return maxmin_fair_rates(demands, caps, caps);
+}
+
+}  // namespace saath

@@ -1,0 +1,88 @@
+#include "runtime/jobs.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace saath::runtime {
+
+const char* shuffle_bucket_label(int bucket) {
+  switch (bucket) {
+    case 0:
+      return "<25%";
+    case 1:
+      return "25-50%";
+    case 2:
+      return "50-75%";
+    case 3:
+      return ">=75%";
+    case kNumShuffleBuckets:
+      return "All";
+  }
+  return "?";
+}
+
+std::vector<JobOutcome> evaluate_jobs(const SimResult& scheme,
+                                      const SimResult& baseline,
+                                      const JobModelConfig& config) {
+  double weight_sum = 0;
+  for (double w : config.bucket_weights) weight_sum += w;
+  SAATH_EXPECTS(weight_sum > 0);
+
+  Rng rng(config.seed);
+  std::vector<JobOutcome> jobs;
+  jobs.reserve(scheme.coflows.size());
+  static constexpr double kBucketLo[kNumShuffleBuckets] = {0.02, 0.25, 0.50,
+                                                           0.75};
+  static constexpr double kBucketHi[kNumShuffleBuckets] = {0.25, 0.50, 0.75,
+                                                           0.98};
+  for (const auto& rec : scheme.coflows) {
+    const CoflowRecord* base = baseline.find(rec.id);
+    SAATH_EXPECTS(base != nullptr);
+
+    // Pick a bucket by weight, then a fraction uniformly inside it.
+    double draw = rng.uniform(0.0, weight_sum);
+    int bucket = 0;
+    for (; bucket < kNumShuffleBuckets - 1; ++bucket) {
+      if (draw < config.bucket_weights[static_cast<std::size_t>(bucket)]) break;
+      draw -= config.bucket_weights[static_cast<std::size_t>(bucket)];
+    }
+    const double f = rng.uniform(kBucketLo[bucket], kBucketHi[bucket]);
+
+    const double c_base = base->cct_seconds();
+    const double c_new = rec.cct_seconds();
+    const double compute = c_base * (1.0 - f) / f;
+    JobOutcome out;
+    out.coflow = rec.id;
+    out.shuffle_fraction = f;
+    out.bucket = bucket;
+    out.jct_speedup = (compute + c_base) / (compute + c_new);
+    jobs.push_back(out);
+  }
+  return jobs;
+}
+
+JctByBucket summarize_jct(const std::vector<JobOutcome>& jobs) {
+  JctByBucket out;
+  std::array<std::vector<double>, kNumShuffleBuckets + 1> grouped;
+  std::vector<double> shuffle_heavy;
+  for (const auto& j : jobs) {
+    grouped[static_cast<std::size_t>(j.bucket)].push_back(j.jct_speedup);
+    grouped[kNumShuffleBuckets].push_back(j.jct_speedup);
+    if (j.shuffle_fraction >= 0.5) shuffle_heavy.push_back(j.jct_speedup);
+  }
+  for (int b = 0; b <= kNumShuffleBuckets; ++b) {
+    const auto& v = grouped[static_cast<std::size_t>(b)];
+    out.count[static_cast<std::size_t>(b)] = v.size();
+    out.p50[static_cast<std::size_t>(b)] = v.empty() ? 0 : percentile(v, 50);
+    out.p90[static_cast<std::size_t>(b)] = v.empty() ? 0 : percentile(v, 90);
+  }
+  if (!grouped[kNumShuffleBuckets].empty()) {
+    out.mean_all = mean(grouped[kNumShuffleBuckets]);
+  }
+  if (!shuffle_heavy.empty()) out.mean_shuffle_heavy = mean(shuffle_heavy);
+  return out;
+}
+
+}  // namespace saath::runtime

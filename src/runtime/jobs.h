@@ -1,0 +1,57 @@
+// Job-completion-time model (§7.2, Fig 16 substitute).
+//
+// Each trace CoFlow is treated as the shuffle stage of one job. The
+// fraction f of total job time spent in shuffle is drawn per job from a
+// bucketed distribution (the paper reuses Aalo's distribution, which is not
+// published in tabular form — DESIGN.md §2 documents our synthetic stand-in).
+// With the baseline shuffle time C_base and the evaluated shuffle time
+// C_new, compute time is (1-f)/f * C_base and
+//
+//   JCT speedup = (compute + C_base) / (compute + C_new).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/result.h"
+
+namespace saath::runtime {
+
+/// Shuffle-fraction buckets as reported on the Fig 16 x-axis.
+inline constexpr int kNumShuffleBuckets = 4;
+
+struct JobModelConfig {
+  /// P(job lands in bucket [<25%, 25-50%, 50-75%, >=75%]).
+  std::array<double, kNumShuffleBuckets> bucket_weights{0.40, 0.20, 0.20, 0.20};
+  std::uint64_t seed = 7;
+};
+
+struct JobOutcome {
+  CoflowId coflow;
+  double shuffle_fraction = 0;
+  int bucket = 0;
+  double jct_speedup = 1.0;
+};
+
+struct JctByBucket {
+  /// P50/P90 speedup per bucket plus the "All" aggregate.
+  std::array<double, kNumShuffleBuckets + 1> p50{};
+  std::array<double, kNumShuffleBuckets + 1> p90{};
+  std::array<std::size_t, kNumShuffleBuckets + 1> count{};
+  double mean_all = 0;
+  double mean_shuffle_heavy = 0;  // buckets with f >= 50%
+};
+
+[[nodiscard]] const char* shuffle_bucket_label(int bucket);
+
+/// Draws shuffle fractions and evaluates per-job JCT speedups of `scheme`
+/// against `baseline` (matched per CoFlow id).
+[[nodiscard]] std::vector<JobOutcome> evaluate_jobs(
+    const SimResult& scheme, const SimResult& baseline,
+    const JobModelConfig& config = {});
+
+[[nodiscard]] JctByBucket summarize_jct(const std::vector<JobOutcome>& jobs);
+
+}  // namespace saath::runtime

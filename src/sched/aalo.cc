@@ -1,0 +1,40 @@
+#include "sched/aalo.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/alloc.h"
+
+namespace saath {
+
+AaloScheduler::AaloScheduler(AaloConfig config) : queues_(config.queues) {}
+
+void AaloScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
+                             Fabric& fabric) {
+  (void)now;
+  zero_rates(active);
+  // Queue from total bytes sent. Aalo's metric only grows, so the queue
+  // index is monotonically non-decreasing — even after a failure-induced
+  // restart shrinks the byte count, Aalo never promotes (the very weakness
+  // §4.3 contrasts Saath against), hence the max().
+  for (CoflowState* c : active) {
+    c->queue_index =
+        std::max(c->queue_index, queues_.queue_for_total_bytes(c->total_sent()));
+  }
+
+  std::vector<CoflowState*> order(active.begin(), active.end());
+  std::sort(order.begin(), order.end(),
+            [](const CoflowState* a, const CoflowState* b) {
+              if (a->queue_index != b->queue_index) {
+                return a->queue_index < b->queue_index;
+              }
+              if (a->arrival() != b->arrival()) return a->arrival() < b->arrival();
+              return a->id() < b->id();
+            });
+
+  for (CoflowState* c : order) {
+    allocate_greedy_fair(*c, fabric);
+  }
+}
+
+}  // namespace saath

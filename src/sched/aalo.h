@@ -1,0 +1,31 @@
+// Aalo baseline (Chowdhury & Stoica, SIGCOMM 2015) as the Saath paper
+// models it (§2.2): a global coordinator assigns CoFlows to K priority
+// queues by *total bytes sent*; ports enumerate queues from highest to
+// lowest priority and serve CoFlows within a queue in FIFO (arrival) order.
+// Aalo is oblivious to the spatial dimension: flows are allocated greedily
+// with no all-or-none gate and no contention awareness.
+#pragma once
+
+#include "sched/queue_structure.h"
+#include "sim/scheduler.h"
+
+namespace saath {
+
+struct AaloConfig {
+  QueueConfig queues;
+};
+
+class AaloScheduler final : public Scheduler {
+ public:
+  explicit AaloScheduler(AaloConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "aalo"; }
+
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) override;
+
+ private:
+  QueueStructure queues_;
+};
+
+}  // namespace saath

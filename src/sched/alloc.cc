@@ -1,0 +1,69 @@
+#include "sched/alloc.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace saath {
+
+double allocate_greedy_fair(CoflowState& c, Fabric& fabric) {
+  double granted = 0;
+  // Equal split among the CoFlow's unfinished flows at each sender port.
+  // Shares are computed against the budget *before* this CoFlow consumes
+  // anything, then each flow is additionally capped by its receiver's
+  // live budget (consumed sequentially).
+  for (const auto& load : c.sender_loads()) {
+    if (load.unfinished_flows == 0) continue;
+    const Rate share = fabric.send_remaining(load.port) / load.unfinished_flows;
+    if (share <= 0) continue;
+    for (auto& f : c.flows()) {
+      if (f.finished() || f.src() != load.port) continue;
+      const Rate r = std::min(share, fabric.recv_remaining(f.dst()));
+      if (r <= 0) continue;
+      f.set_rate(f.rate() + r);
+      fabric.consume(f.src(), f.dst(), r);
+      granted += r;
+    }
+  }
+  return granted;
+}
+
+bool allocate_madd(CoflowState& c, Fabric& fabric) {
+  // Effective bottleneck Γ against remaining budgets: max over ports of
+  // (remaining bytes the CoFlow must push through the port) / (budget).
+  double gamma = 0;
+  for (int side = 0; side < 2; ++side) {
+    const auto loads = side == 0 ? c.sender_loads() : c.receiver_loads();
+    for (const auto& load : loads) {
+      if (load.unfinished_flows == 0) continue;
+      double bytes = 0;
+      for (const auto& f : c.flows()) {
+        if (f.finished()) continue;
+        const PortIndex p = side == 0 ? f.src() : f.dst();
+        if (p == load.port) bytes += f.remaining();
+      }
+      const Rate budget = side == 0 ? fabric.send_remaining(load.port)
+                                    : fabric.recv_remaining(load.port);
+      if (budget <= Fabric::kRateEpsilon) {
+        if (bytes > 0) return false;  // a needed port is exhausted
+        continue;
+      }
+      gamma = std::max(gamma, bytes / budget);
+    }
+  }
+  if (gamma <= 0) return false;
+
+  for (auto& f : c.flows()) {
+    if (f.finished()) continue;
+    Rate r = f.remaining() / gamma;
+    r = std::min({r, fabric.send_remaining(f.src()),
+                  fabric.recv_remaining(f.dst())});
+    if (r <= 0) continue;
+    f.set_rate(f.rate() + r);
+    fabric.consume(f.src(), f.dst(), r);
+  }
+  return true;
+}
+
+}  // namespace saath

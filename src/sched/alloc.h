@@ -1,0 +1,26 @@
+// Shared per-CoFlow allocation primitives.
+//
+// allocate_greedy_fair: the ordered-greedy allocation Aalo-style schedulers
+// use — within the CoFlow, flows at the same sender port split the port's
+// remaining budget equally (they are concurrent TCP connections in the real
+// system), capped by the receiver's remaining budget.
+//
+// allocate_madd: Varys' Minimum-Allocation-for-Desired-Duration — every
+// flow gets remaining_bytes / Γ so all of the CoFlow's flows finish together
+// at its effective bottleneck time Γ, computed against the ports' remaining
+// budgets.
+#pragma once
+
+#include "coflow/coflow.h"
+#include "fabric/fabric.h"
+
+namespace saath {
+
+/// Allocates rates to c's unfinished flows; returns the total rate granted.
+double allocate_greedy_fair(CoflowState& c, Fabric& fabric);
+
+/// MADD allocation. Returns false (allocating nothing) when some port the
+/// CoFlow needs has no remaining budget.
+bool allocate_madd(CoflowState& c, Fabric& fabric);
+
+}  // namespace saath

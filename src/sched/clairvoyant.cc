@@ -1,0 +1,88 @@
+#include "sched/clairvoyant.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/expect.h"
+#include "sched/alloc.h"
+#include "sched/contention.h"
+
+namespace saath {
+
+ClairvoyantScheduler::ClairvoyantScheduler(ClairvoyantPolicy policy)
+    : policy_(policy) {}
+
+std::string ClairvoyantScheduler::name() const {
+  switch (policy_) {
+    case ClairvoyantPolicy::kSCF:
+      return "scf";
+    case ClairvoyantPolicy::kSRTF:
+      return "srtf";
+    case ClairvoyantPolicy::kLWTF:
+      return "lwtf";
+    case ClairvoyantPolicy::kSEBF:
+      return "sebf";
+  }
+  return "?";
+}
+
+void ClairvoyantScheduler::schedule(SimTime now,
+                                    std::span<CoflowState* const> active,
+                                    Fabric& fabric) {
+  (void)now;
+  zero_rates(active);
+  std::vector<double> key(active.size(), 0.0);
+  switch (policy_) {
+    case ClairvoyantPolicy::kSCF:
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        key[i] = static_cast<double>(active[i]->spec().total_bytes());
+      }
+      break;
+    case ClairvoyantPolicy::kSRTF:
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        key[i] = active[i]->total_remaining();
+      }
+      break;
+    case ClairvoyantPolicy::kLWTF: {
+      // t_c * k_c — the marginal increase in everyone else's waiting time
+      // when c is scheduled (§2.4). Duration is the clairvoyant bottleneck
+      // time; contention counts the CoFlows blocked on c's ports.
+      const auto k = compute_contention(active, fabric.num_ports());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const double t_c =
+            active[i]->bottleneck_seconds(fabric.port_bandwidth());
+        key[i] = t_c * std::max(1, k[i]);
+      }
+      break;
+    }
+    case ClairvoyantPolicy::kSEBF:
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        key[i] = active[i]->bottleneck_seconds(fabric.port_bandwidth());
+      }
+      break;
+  }
+
+  std::vector<std::size_t> order(active.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (key[a] != key[b]) return key[a] < key[b];
+    if (active[a]->arrival() != active[b]->arrival()) {
+      return active[a]->arrival() < active[b]->arrival();
+    }
+    return active[a]->id() < active[b]->id();
+  });
+
+  if (policy_ == ClairvoyantPolicy::kSEBF) {
+    // Varys: MADD down the SEBF order; CoFlows that do not fit are skipped
+    // and backfilled greedily afterwards (work conservation).
+    std::vector<CoflowState*> skipped;
+    for (std::size_t i : order) {
+      if (!allocate_madd(*active[i], fabric)) skipped.push_back(active[i]);
+    }
+    for (CoflowState* c : skipped) allocate_greedy_fair(*c, fabric);
+  } else {
+    for (std::size_t i : order) allocate_greedy_fair(*active[i], fabric);
+  }
+}
+
+}  // namespace saath

@@ -1,0 +1,33 @@
+// Clairvoyant baselines — the "ideal offline settings" comparators.
+//
+// These policies know flow sizes apriori (which no online scheduler does;
+// the paper uses them in §2.4 Fig 3 and §6.1 Fig 9 to bracket Saath):
+//   SCF  — Shortest CoFlow First by total bytes (static size);
+//   SRTF — Shortest Remaining Time First by total remaining bytes;
+//   LWTF — Least Waiting Time First by duration x contention (t_c * k_c),
+//          the §2.4 policy showing SJF's contention-obliviousness;
+//   SEBF — Varys' Smallest Effective Bottleneck First with MADD rates.
+// All are ordered-greedy: CoFlows sorted by the policy key, bandwidth
+// granted down the order (MADD for SEBF, intra-CoFlow fair split otherwise).
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace saath {
+
+enum class ClairvoyantPolicy { kSCF, kSRTF, kLWTF, kSEBF };
+
+class ClairvoyantScheduler final : public Scheduler {
+ public:
+  explicit ClairvoyantScheduler(ClairvoyantPolicy policy);
+
+  [[nodiscard]] std::string name() const override;
+
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) override;
+
+ private:
+  ClairvoyantPolicy policy_;
+};
+
+}  // namespace saath

@@ -1,0 +1,28 @@
+// CoFlow contention (§2.4, §3 idea 3).
+//
+// The contention k_c of CoFlow c is the number of *other* CoFlows that have
+// an unfinished flow on any port (sender or receiver) c occupies — i.e. how
+// many CoFlows scheduling c would block. LCoF sorts each queue by ascending
+// k_c; LWTF weighs clairvoyant duration by it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coflow/coflow.h"
+
+namespace saath {
+
+/// k_c for every entry of `active`, in input order.
+[[nodiscard]] std::vector<int> compute_contention(
+    std::span<CoflowState* const> active, int num_ports);
+
+/// Same, but a pair only counts when both CoFlows share a group (Saath uses
+/// the priority-queue index: a queue's sort should rank CoFlows by how many
+/// of their *actual* same-queue competitors they block). `group` is indexed
+/// like `active`.
+[[nodiscard]] std::vector<int> compute_contention_grouped(
+    std::span<CoflowState* const> active, int num_ports,
+    std::span<const int> group);
+
+}  // namespace saath

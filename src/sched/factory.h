@@ -1,0 +1,29 @@
+// Scheduler factory: string names -> configured scheduler instances, so
+// examples and benchmarks can select policies from the command line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/queue_structure.h"
+#include "sim/scheduler.h"
+
+namespace saath {
+
+struct SchedulerOptions {
+  QueueConfig queues;
+  /// Saath starvation deadline factor d.
+  double deadline_factor = 2.0;
+};
+
+/// Known names: "aalo", "saath", "saath-an-fifo" (A/N + total-bytes + FIFO),
+/// "saath-an-pf-fifo" (A/N + per-flow thresholds + FIFO), "scf", "srtf",
+/// "lwtf", "sebf", "uc-tcp". Throws std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    std::string_view name, const SchedulerOptions& options = {});
+
+[[nodiscard]] std::vector<std::string> known_schedulers();
+
+}  // namespace saath

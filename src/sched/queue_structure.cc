@@ -1,0 +1,55 @@
+#include "sched/queue_structure.h"
+
+#include <cmath>
+
+namespace saath {
+
+QueueStructure::QueueStructure(QueueConfig config) : config_(config) {
+  SAATH_EXPECTS(config_.num_queues >= 1);
+  SAATH_EXPECTS(config_.start_threshold > 0);
+  SAATH_EXPECTS(config_.growth > 1.0);
+}
+
+double QueueStructure::hi_threshold(int q) const {
+  SAATH_EXPECTS(q >= 0 && q < config_.num_queues);
+  if (q == config_.num_queues - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(config_.start_threshold) *
+         std::pow(config_.growth, q);
+}
+
+double QueueStructure::lo_threshold(int q) const {
+  SAATH_EXPECTS(q >= 0 && q < config_.num_queues);
+  return q == 0 ? 0.0 : hi_threshold(q - 1);
+}
+
+int QueueStructure::queue_for_total_bytes(double total_sent) const {
+  for (int q = 0; q < config_.num_queues - 1; ++q) {
+    if (total_sent < hi_threshold(q)) return q;
+  }
+  return config_.num_queues - 1;
+}
+
+int QueueStructure::queue_for_max_flow_bytes(double max_flow_sent,
+                                             int width) const {
+  SAATH_EXPECTS(width >= 1);
+  for (int q = 0; q < config_.num_queues - 1; ++q) {
+    if (max_flow_sent < hi_threshold(q) / width) return q;
+  }
+  return config_.num_queues - 1;
+}
+
+double QueueStructure::min_residence_seconds(int q, Rate port_bandwidth) const {
+  SAATH_EXPECTS(port_bandwidth > 0);
+  double hi = hi_threshold(q);
+  if (!std::isfinite(hi)) {
+    // The last queue has no upper bound; extrapolate one more growth step so
+    // deadlines stay finite.
+    hi = static_cast<double>(config_.start_threshold) *
+         std::pow(config_.growth, config_.num_queues - 1);
+  }
+  return (hi - lo_threshold(q)) / port_bandwidth;
+}
+
+}  // namespace saath

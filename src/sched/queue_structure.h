@@ -1,0 +1,55 @@
+// Priority-queue structure shared by Aalo and Saath (§4.1).
+//
+// K logical queues Q0..Q(K-1) with exponentially growing byte thresholds:
+// Q_hi(q) = S * E^q, Q_lo(0) = 0, Q_lo(q+1) = Q_hi(q), Q_hi(K-1) = inf.
+// Aalo demotes a CoFlow by its *total* bytes sent; Saath divides the
+// threshold equally among the CoFlow's flows and compares against the
+// *maximum* bytes sent by any single flow (Eq. 1 — the per-flow threshold
+// that produces the fast queue transition of Fig 5).
+#pragma once
+
+#include <limits>
+
+#include "common/expect.h"
+#include "common/units.h"
+
+namespace saath {
+
+struct QueueConfig {
+  /// Number of queues K (paper default 10).
+  int num_queues = 10;
+  /// Starting queue threshold S = Q_hi(0) (paper default 10MB).
+  Bytes start_threshold = 10 * kMB;
+  /// Exponential growth factor E (paper default 10).
+  double growth = 10.0;
+};
+
+class QueueStructure {
+ public:
+  explicit QueueStructure(QueueConfig config = {});
+
+  [[nodiscard]] int num_queues() const { return config_.num_queues; }
+  [[nodiscard]] const QueueConfig& config() const { return config_; }
+
+  /// Upper byte threshold of queue q; +inf for the last queue.
+  [[nodiscard]] double hi_threshold(int q) const;
+  [[nodiscard]] double lo_threshold(int q) const;
+
+  /// Aalo: queue from total bytes sent by the CoFlow.
+  [[nodiscard]] int queue_for_total_bytes(double total_sent) const;
+
+  /// Saath Eq. (1): queue from the max bytes sent by any flow, with the
+  /// queue threshold split equally across the CoFlow's `width` flows.
+  [[nodiscard]] int queue_for_max_flow_bytes(double max_flow_sent,
+                                             int width) const;
+
+  /// Minimum time a CoFlow must spend in queue q before crossing into q+1,
+  /// at full port bandwidth — the `t` of the starvation deadline d*C_q*t
+  /// (§4.2 D5). The last queue uses the extrapolated finite threshold.
+  [[nodiscard]] double min_residence_seconds(int q, Rate port_bandwidth) const;
+
+ private:
+  QueueConfig config_;
+};
+
+}  // namespace saath

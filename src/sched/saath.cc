@@ -1,0 +1,271 @@
+#include "sched/saath.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/expect.h"
+#include "sched/alloc.h"
+#include "sched/contention.h"
+
+namespace saath {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::int64_t ns_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+[[nodiscard]] double median_of(std::vector<double> values) {
+  SAATH_EXPECTS(!values.empty());
+  const auto mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  if (values.size() % 2 == 1) return values[mid];
+  const double hi = values[mid];
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid) - 1,
+                   values.end());
+  return (values[mid - 1] + hi) / 2.0;
+}
+
+}  // namespace
+
+SaathScheduler::SaathScheduler(SaathConfig config)
+    : config_(config), queues_(config.queues) {}
+
+std::string SaathScheduler::name() const {
+  if (config_.all_or_none && config_.per_flow_threshold && config_.lcof) {
+    return "saath";
+  }
+  std::string n = "saath[";
+  n += config_.all_or_none ? "an" : "greedy";
+  n += config_.per_flow_threshold ? "+pf" : "+total";
+  n += config_.lcof ? "+lcof" : "+fifo";
+  n += "]";
+  return n;
+}
+
+double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow) {
+  const auto finished = coflow.finished_flow_lengths();
+  SAATH_EXPECTS(!finished.empty());
+  const double f_e = median_of({finished.begin(), finished.end()});
+  // Remaining of flow i is estimated as (f_e - sent_i)+; the CoFlow's
+  // remaining work m_c is the max since the CCT tracks the last flow.
+  double m_c = 0;
+  for (const auto& f : coflow.flows()) {
+    if (f.finished()) continue;
+    m_c = std::max(m_c, std::max(0.0, f_e - f.sent()));
+  }
+  return m_c;
+}
+
+void SaathScheduler::on_coflow_arrival(CoflowState& coflow, SimTime now) {
+  (void)coflow;
+  (void)now;
+  contention_dirty_ = true;
+}
+
+void SaathScheduler::on_flow_complete(CoflowState& coflow, FlowState& flow,
+                                      SimTime now) {
+  (void)coflow;
+  (void)flow;
+  (void)now;
+  contention_dirty_ = true;
+}
+
+void SaathScheduler::on_coflow_complete(CoflowState& coflow, SimTime now) {
+  (void)now;
+  contention_cache_.erase(coflow.id());
+  contention_dirty_ = true;
+}
+
+bool SaathScheduler::assign_queues_and_deadlines(
+    SimTime now, std::span<CoflowState* const> active, Rate port_bandwidth) {
+  std::vector<CoflowState*> entered;  // CoFlows needing a fresh deadline
+  for (CoflowState* c : active) {
+    int q;
+    if (config_.dynamics_srtf && c->dynamics_flagged &&
+        !c->finished_flow_lengths().empty()) {
+      // §4.3: once some flows finished we can estimate remaining work
+      // directly instead of relying on attained service; this may move the
+      // CoFlow *up*, which the total-bytes rule can never do.
+      q = queues_.queue_for_max_flow_bytes(dynamics_remaining_estimate(*c),
+                                           c->width());
+    } else if (config_.per_flow_threshold) {
+      q = queues_.queue_for_max_flow_bytes(c->max_flow_sent(), c->width());
+    } else {
+      q = queues_.queue_for_total_bytes(c->total_sent());
+    }
+    const bool fresh = c->deadline == kNever && config_.deadline_factor > 0;
+    if (q != c->queue_index || fresh) {
+      c->queue_index = q;
+      c->queue_entered_at = now;
+      entered.push_back(c);
+    }
+  }
+  const bool any_change = !entered.empty();
+
+  if (config_.deadline_factor <= 0 || entered.empty()) return any_change;
+  // D5: deadline = d * C_q * t, where C_q is the queue's population and t
+  // its minimum residence time — the FIFO drain-time bound.
+  std::vector<int> queue_count(static_cast<std::size_t>(queues_.num_queues()), 0);
+  for (const CoflowState* c : active) {
+    ++queue_count[static_cast<std::size_t>(c->queue_index)];
+  }
+  for (CoflowState* c : entered) {
+    const int population =
+        queue_count[static_cast<std::size_t>(c->queue_index)];
+    const double t_q =
+        queues_.min_residence_seconds(c->queue_index, port_bandwidth);
+    c->deadline =
+        now + static_cast<SimTime>(config_.deadline_factor * population * t_q *
+                                   1e6);
+  }
+  return any_change;
+}
+
+bool SaathScheduler::all_ports_available(const CoflowState& c,
+                                         const Fabric& fabric) const {
+  const Rate eps = fabric.port_bandwidth() * 1e-9;
+  for (const auto& load : c.sender_loads()) {
+    if (load.unfinished_flows > 0 && fabric.send_remaining(load.port) <= eps) {
+      return false;
+    }
+  }
+  for (const auto& load : c.receiver_loads()) {
+    if (load.unfinished_flows > 0 && fabric.recv_remaining(load.port) <= eps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric) const {
+  // D2: max-min share at each port is budget / (c's flows there); the
+  // CoFlow-wide rate is the minimum share — speeding any flow beyond the
+  // slowest cannot improve the CCT.
+  Rate rate = std::numeric_limits<Rate>::infinity();
+  for (const auto& load : c.sender_loads()) {
+    if (load.unfinished_flows == 0) continue;
+    rate = std::min(rate,
+                    fabric.send_remaining(load.port) / load.unfinished_flows);
+  }
+  for (const auto& load : c.receiver_loads()) {
+    if (load.unfinished_flows == 0) continue;
+    rate = std::min(rate,
+                    fabric.recv_remaining(load.port) / load.unfinished_flows);
+  }
+  SAATH_EXPECTS(std::isfinite(rate) && rate >= 0);
+  for (auto& f : c.flows()) {
+    if (f.finished()) continue;
+    f.set_rate(rate);
+    fabric.consume(f.src(), f.dst(), rate);
+  }
+  return rate;
+}
+
+void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
+                              Fabric& fabric) {
+  ++stats_.rounds;
+  const auto t0 = Clock::now();
+
+  zero_rates(active);
+  const bool queues_changed =
+      assign_queues_and_deadlines(now, active, fabric.port_bandwidth());
+
+  if (config_.lcof && (contention_dirty_ || queues_changed ||
+                       contention_cache_.size() != active.size())) {
+    // LCoF ranks within a queue, so k_c counts same-queue competitors.
+    // Port occupancy and queue membership only change on arrivals,
+    // completions and threshold crossings; between those events the cached
+    // ordering stays valid, which keeps busy-period epochs cheap.
+    std::vector<int> queue_of(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      queue_of[i] = active[i]->queue_index;
+    }
+    const auto contention =
+        compute_contention_grouped(active, fabric.num_ports(), queue_of);
+    contention_cache_.clear();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      contention_cache_.emplace(active[i]->id(), contention[i]);
+    }
+    contention_dirty_ = false;
+  }
+
+  // Order: queue asc, then deadline-expired CoFlows (earliest deadline
+  // first), then LCoF (or FIFO), with (arrival, id) as the total-order tail.
+  struct Entry {
+    CoflowState* c;
+    int queue;
+    bool expired;
+    SimTime deadline;
+    std::int64_t key;  // contention (LCoF) or arrival (FIFO)
+  };
+  std::vector<Entry> order;
+  order.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    CoflowState* c = active[i];
+    const bool expired = config_.deadline_factor > 0 && c->deadline != kNever &&
+                         c->deadline <= now;
+    const std::int64_t key =
+        config_.lcof ? contention_cache_.at(c->id())
+                     : static_cast<std::int64_t>(c->arrival());
+    order.push_back({c, c->queue_index, expired, c->deadline, key});
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    // D5: expired CoFlows are prioritized ahead of everything — the
+    // FIFO-derived bound must hold even for CoFlows demoted to low queues,
+    // or wide CoFlows (whose contention never drops) starve.
+    if (a.expired != b.expired) return a.expired;
+    if (a.expired && a.deadline != b.deadline) return a.deadline < b.deadline;
+    if (a.queue != b.queue) return a.queue < b.queue;
+    if (a.key != b.key) return a.key < b.key;
+    if (a.c->arrival() != b.c->arrival()) return a.c->arrival() < b.c->arrival();
+    return a.c->id() < b.c->id();
+  });
+  stats_.order_ns += ns_since(t0);
+
+  // All-or-none admission in sorted order (Fig 7 lines 3–13).
+  const auto t1 = Clock::now();
+  std::vector<CoflowState*> missed;
+  for (const Entry& e : order) {
+    if (config_.respect_data_availability && !e.c->data_available) continue;
+    if (!config_.all_or_none) {
+      // Ablation escape hatch: partial (per-flow greedy) allocation, i.e.
+      // the spatial coordination is switched off entirely.
+      allocate_greedy_fair(*e.c, fabric);
+      continue;
+    }
+    if (all_ports_available(*e.c, fabric)) {
+      allocate_equal_rate(*e.c, fabric);
+    } else {
+      missed.push_back(e.c);
+    }
+  }
+  stats_.admit_ns += ns_since(t1);
+
+  // Work conservation (Fig 7 lines 14, 18–23): missed CoFlows, in order,
+  // soak up whatever budget is left, flow by flow.
+  const auto t2 = Clock::now();
+  if (config_.work_conservation) {
+    for (CoflowState* c : missed) {
+      for (auto& f : c->flows()) {
+        if (f.finished()) continue;
+        const Rate r = std::min(fabric.send_remaining(f.src()),
+                                fabric.recv_remaining(f.dst()));
+        if (r <= Fabric::kRateEpsilon) continue;
+        f.set_rate(f.rate() + r);
+        fabric.consume(f.src(), f.dst(), r);
+      }
+    }
+  }
+  stats_.conserve_ns += ns_since(t2);
+}
+
+}  // namespace saath

@@ -1,0 +1,107 @@
+// SAATH — the paper's primary contribution (§3–§4).
+//
+// An online, non-clairvoyant CoFlow scheduler that exploits the spatial
+// dimension with six cooperating mechanisms (§4, "key design features"):
+//   (1) all-or-none     — a CoFlow is scheduled only when every sender and
+//                         receiver port it needs has bandwidth, and then all
+//                         of its flows run at one equal rate (D2/MADD-style),
+//                         mitigating the out-of-sync problem;
+//   (2) per-flow queue   — Eq. (1): the queue threshold is split equally
+//       thresholds         among the CoFlow's flows and compared against the
+//                         max per-flow bytes sent, accelerating demotion;
+//   (3) LCoF            — within a queue, Least-Contention-First ordering by
+//                         k_c, the number of CoFlows blocked on c's ports;
+//   (4) work            — ports left idle by all-or-none are backfilled from
+//       conservation      the ordered list of unscheduled CoFlows;
+//   (5) dynamics        — after failures/stragglers, remaining work is
+//                         estimated from the median finished-flow length and
+//                         the CoFlow re-queued (approximate SRTF, §4.3);
+//   (6) starvation      — FIFO-derived deadlines d·C_q·t (D5); expired
+//       freedom           CoFlows move to the head of their queue.
+//
+// Every mechanism has a config switch so the Fig 10–12 ablations
+// (A/N+FIFO, A/N+PF+FIFO, full Saath) are just configurations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sched/queue_structure.h"
+#include "sim/scheduler.h"
+
+namespace saath {
+
+struct SaathConfig {
+  QueueConfig queues;
+  /// (1) All-or-none admission; off = greedy partial allocation (Aalo-like).
+  bool all_or_none = true;
+  /// (2) Per-flow queue thresholds (Eq. 1); off = Aalo's total-bytes rule.
+  bool per_flow_threshold = true;
+  /// (3) LCoF within a queue; off = FIFO by arrival.
+  bool lcof = true;
+  /// (4) Backfill idle ports from the missed list.
+  bool work_conservation = true;
+  /// (6) Deadline factor d (paper default 2); <= 0 disables deadlines.
+  double deadline_factor = 2.0;
+  /// (5) Approximate-SRTF re-queueing for dynamics-flagged CoFlows.
+  bool dynamics_srtf = true;
+  /// §4.3 pipelining: skip CoFlows whose data is not yet available.
+  bool respect_data_availability = true;
+};
+
+/// Wall-clock cost of each coordinator phase, accumulated across rounds —
+/// the Table 2 "Total time (LCoF / All-or-none)" breakdown.
+struct SaathPhaseStats {
+  std::int64_t rounds = 0;
+  std::int64_t order_ns = 0;     // queue assignment + intra-queue ordering
+  std::int64_t admit_ns = 0;     // all-or-none admission + rate assignment
+  std::int64_t conserve_ns = 0;  // work conservation backfill
+  [[nodiscard]] std::int64_t total_ns() const {
+    return order_ns + admit_ns + conserve_ns;
+  }
+};
+
+class SaathScheduler final : public Scheduler {
+ public:
+  explicit SaathScheduler(SaathConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const SaathConfig& config() const { return config_; }
+  [[nodiscard]] const SaathPhaseStats& phase_stats() const { return stats_; }
+
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) override;
+
+  /// Port-occupancy (and hence contention) only changes on these events;
+  /// the LCoF ordering is cached between them.
+  void on_coflow_arrival(CoflowState& coflow, SimTime now) override;
+  void on_flow_complete(CoflowState& coflow, FlowState& flow,
+                        SimTime now) override;
+  void on_coflow_complete(CoflowState& coflow, SimTime now) override;
+
+  /// Exposed for tests: the §4.3 remaining-work estimate m_c (median
+  /// finished length minus bytes sent, maxed over unfinished flows).
+  [[nodiscard]] static double dynamics_remaining_estimate(
+      const CoflowState& coflow);
+
+ private:
+  /// Returns true when any CoFlow changed queue (invalidates the
+  /// same-queue contention cache).
+  bool assign_queues_and_deadlines(SimTime now,
+                                   std::span<CoflowState* const> active,
+                                   Rate port_bandwidth);
+  [[nodiscard]] bool all_ports_available(const CoflowState& c,
+                                         const Fabric& fabric) const;
+  /// D2: one equal rate for every unfinished flow of c (min max-min share
+  /// over its ports); consumes fabric budget. Returns the rate.
+  Rate allocate_equal_rate(CoflowState& c, Fabric& fabric) const;
+
+  SaathConfig config_;
+  QueueStructure queues_;
+  SaathPhaseStats stats_;
+  /// LCoF cache: k_c per CoFlow id, valid until contention_dirty_.
+  std::unordered_map<CoflowId, int> contention_cache_;
+  bool contention_dirty_ = true;
+};
+
+}  // namespace saath

@@ -1,0 +1,41 @@
+#include "sched/uc_tcp.h"
+
+#include <vector>
+
+#include "fabric/maxmin.h"
+
+namespace saath {
+
+void UcTcpScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
+                              Fabric& fabric) {
+  (void)now;
+  zero_rates(active);
+  std::vector<MaxMinDemand> demands;
+  std::vector<FlowState*> flows;
+  for (CoflowState* c : active) {
+    for (auto& f : c->flows()) {
+      if (f.finished()) continue;
+      demands.push_back({f.src(), f.dst(), /*cap=*/0});
+      flows.push_back(&f);
+    }
+  }
+
+  std::vector<Rate> send_caps(static_cast<std::size_t>(fabric.num_ports()));
+  std::vector<Rate> recv_caps(static_cast<std::size_t>(fabric.num_ports()));
+  for (PortIndex p = 0; p < fabric.num_ports(); ++p) {
+    send_caps[static_cast<std::size_t>(p)] = fabric.send_capacity(p);
+    recv_caps[static_cast<std::size_t>(p)] = fabric.recv_capacity(p);
+  }
+
+  const auto rates = maxmin_fair_rates(demands, send_caps, recv_caps);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    // Progressive filling can land a hair above the port budget through
+    // floating-point accumulation; shave it so Fabric's contract holds.
+    const Rate r = std::min({rates[i], fabric.send_remaining(flows[i]->src()),
+                             fabric.recv_remaining(flows[i]->dst())});
+    flows[i]->set_rate(r);
+    fabric.consume(flows[i]->src(), flows[i]->dst(), r);
+  }
+}
+
+}  // namespace saath

@@ -1,0 +1,20 @@
+// UC-TCP baseline (§6.1): no coordinator, no queues — every flow starts on
+// arrival as an independent TCP connection and receives its max-min fair
+// share of the sender uplink / receiver downlink, computed by progressive
+// filling. This is the "lack of coordination coupled with lack of priority
+// queues" strawman Saath beats by two orders of magnitude.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace saath {
+
+class UcTcpScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "uc-tcp"; }
+
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) override;
+};
+
+}  // namespace saath

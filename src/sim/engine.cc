@@ -1,0 +1,249 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/expect.h"
+#include "common/logging.h"
+#include "trace/trace.h"
+
+namespace saath {
+
+Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
+    : trace_(std::move(trace)),
+      scheduler_(scheduler),
+      config_(config),
+      fabric_(trace_.num_ports, config.port_bandwidth) {
+  SAATH_EXPECTS(config_.delta > 0);
+  for (const auto& spec : trace_.coflows) pending_.push(spec);
+  result_.scheduler = scheduler_.name();
+  result_.trace = trace_.name;
+}
+
+void Engine::add_dynamics_event(DynamicsEvent event) {
+  SAATH_EXPECTS(!running_);
+  dynamics_.push_back(event);
+  std::stable_sort(dynamics_.begin(), dynamics_.end(),
+                   [](const DynamicsEvent& a, const DynamicsEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void Engine::set_data_available_at(CoflowId id, SimTime when) {
+  SAATH_EXPECTS(!running_);
+  data_available_at_[id] = when;
+}
+
+void Engine::set_completion_callback(CompletionCallback cb) {
+  completion_callback_ = std::move(cb);
+}
+
+void Engine::inject_coflow(CoflowSpec spec) {
+  SAATH_EXPECTS(spec.arrival >= now_);
+  SAATH_EXPECTS(!spec.flows.empty());
+  pending_.push(std::move(spec));
+}
+
+void Engine::admit_arrivals() {
+  while (!pending_.empty() && pending_.top().arrival <= now_) {
+    CoflowSpec spec = pending_.top();
+    pending_.pop();
+    auto state = std::make_unique<CoflowState>(spec, FlowId{next_flow_id_});
+    next_flow_id_ += spec.width();
+    if (auto it = data_available_at_.find(spec.id);
+        it != data_available_at_.end() && it->second > now_) {
+      state->data_available = false;
+    }
+    active_.push_back(state.get());
+    scheduler_.on_coflow_arrival(*state, now_);
+    all_coflows_.push_back(std::move(state));
+  }
+  // Flip data-availability gates whose release time has passed.
+  for (CoflowState* c : active_) {
+    if (c->data_available) continue;
+    const auto it = data_available_at_.find(c->id());
+    if (it == data_available_at_.end() || it->second <= now_) {
+      c->data_available = true;
+    }
+  }
+}
+
+void Engine::process_dynamics() {
+  while (next_dynamics_ < dynamics_.size() &&
+         dynamics_[next_dynamics_].time <= now_) {
+    const DynamicsEvent& ev = dynamics_[next_dynamics_++];
+    switch (ev.kind) {
+      case DynamicsEvent::Kind::kNodeFailure:
+        for (CoflowState* c : active_) {
+          if (c->restart_flows_on_port(ev.port) > 0) {
+            c->dynamics_flagged = true;
+          }
+        }
+        SAATH_LOG_INFO("t=%.3fs node failure at port %d", to_seconds(now_),
+                       ev.port);
+        break;
+      case DynamicsEvent::Kind::kStragglerStart:
+        fabric_.set_port_capacity_factor(ev.port, ev.capacity_factor);
+        for (CoflowState* c : active_) {
+          for (const auto& f : c->flows()) {
+            if (!f.finished() && (f.src() == ev.port || f.dst() == ev.port)) {
+              c->dynamics_flagged = true;
+              break;
+            }
+          }
+        }
+        break;
+      case DynamicsEvent::Kind::kStragglerEnd:
+        fabric_.set_port_capacity_factor(ev.port, 1.0);
+        break;
+    }
+  }
+}
+
+void Engine::compute_schedule() {
+  ++rounds_;
+  fabric_.reset();
+  // Zero everything first so schedulers only need to touch flows they admit.
+  for (CoflowState* c : active_) {
+    for (auto& f : c->flows()) f.set_rate(0);
+  }
+  scheduler_.schedule(now_, active_, fabric_);
+  // §4.3 un-availability: a schedule handed to a CoFlow whose data is not
+  // ready wastes the slot — the rates are nullified but the port budget the
+  // scheduler spent is NOT refunded.
+  for (CoflowState* c : active_) {
+    if (c->data_available) continue;
+    for (auto& f : c->flows()) f.set_rate(0);
+  }
+  if (config_.check_capacity) verify_capacity();
+}
+
+void Engine::verify_capacity() const {
+  std::vector<Rate> send(static_cast<std::size_t>(fabric_.num_ports()), 0.0);
+  std::vector<Rate> recv(static_cast<std::size_t>(fabric_.num_ports()), 0.0);
+  for (const CoflowState* c : active_) {
+    for (const auto& f : c->flows()) {
+      if (f.finished()) continue;
+      SAATH_EXPECTS(f.rate() >= 0);
+      send[static_cast<std::size_t>(f.src())] += f.rate();
+      recv[static_cast<std::size_t>(f.dst())] += f.rate();
+    }
+  }
+  for (PortIndex p = 0; p < fabric_.num_ports(); ++p) {
+    const Rate cap_s = fabric_.send_capacity(p) * (1.0 + 1e-6) + 1e-6;
+    const Rate cap_r = fabric_.recv_capacity(p) * (1.0 + 1e-6) + 1e-6;
+    if (send[static_cast<std::size_t>(p)] > cap_s ||
+        recv[static_cast<std::size_t>(p)] > cap_r) {
+      throw std::logic_error("scheduler '" + scheduler_.name() +
+                             "' overdrew port " + std::to_string(p));
+    }
+  }
+}
+
+void Engine::harvest_completions(SimTime at) {
+  for (std::size_t i = 0; i < active_.size();) {
+    CoflowState* c = active_[i];
+    for (auto& f : c->flows()) {
+      if (!f.finished() && f.remaining() <= 0) {
+        c->on_flow_complete(f, at);
+        scheduler_.on_flow_complete(*c, f, at);
+      }
+    }
+    if (c->finished()) {
+      finalize_coflow(*c, at);
+      active_[i] = active_.back();
+      active_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
+  scheduler_.on_coflow_complete(coflow, at);
+  CoflowRecord rec;
+  rec.id = coflow.id();
+  rec.job = coflow.spec().job;
+  rec.stage = coflow.spec().stage;
+  rec.arrival = coflow.arrival();
+  rec.finish = at;
+  rec.width = coflow.width();
+  rec.total_bytes = coflow.spec().total_bytes();
+  rec.equal_flow_lengths = trace::has_equal_flow_lengths(coflow.spec());
+  rec.flow_fcts_seconds.reserve(coflow.flows().size());
+  for (const auto& f : coflow.flows()) {
+    rec.flow_fcts_seconds.push_back(to_seconds(f.finish_time() - coflow.arrival()));
+    rec.flow_sizes.push_back(f.size());
+  }
+  result_.coflows.push_back(std::move(rec));
+  result_.makespan = std::max(result_.makespan, at);
+  if (completion_callback_) {
+    completion_callback_(result_.coflows.back(), at, *this);
+  }
+}
+
+void Engine::advance_until(SimTime epoch_end) {
+  SimTime t = now_;
+  while (t < epoch_end && !active_.empty()) {
+    // Earliest completion at current rates.
+    double min_seconds = std::numeric_limits<double>::infinity();
+    for (const CoflowState* c : active_) {
+      for (const auto& f : c->flows()) {
+        if (f.finished() || f.rate() <= 0) continue;
+        min_seconds = std::min(min_seconds, f.seconds_to_finish());
+      }
+    }
+    SimTime target = epoch_end;
+    if (std::isfinite(min_seconds)) {
+      const auto dt = std::max<SimTime>(
+          1, static_cast<SimTime>(std::ceil(min_seconds * 1e6)));
+      target = std::min(epoch_end, t + dt);
+    }
+    for (CoflowState* c : active_) c->advance_all(target - t);
+    t = target;
+    const auto active_before = active_.size();
+    harvest_completions(t);
+    if (config_.reallocate_on_completion && active_.size() != active_before &&
+        !active_.empty() && t < epoch_end) {
+      now_ = t;
+      compute_schedule();
+    }
+  }
+  now_ = std::max(t, now_);
+}
+
+SimResult Engine::run() {
+  SAATH_EXPECTS(!running_);
+  running_ = true;
+  while (!pending_.empty() || !active_.empty()) {
+    if (now_ > config_.max_sim_time) {
+      throw std::runtime_error("Engine: exceeded max_sim_time with " +
+                               std::to_string(active_.size()) +
+                               " coflows unfinished (scheduler starving?)");
+    }
+    if (active_.empty()) {
+      SAATH_EXPECTS(!pending_.empty());
+      now_ = std::max(now_, pending_.top().arrival);
+    }
+    admit_arrivals();
+    process_dynamics();
+    compute_schedule();
+    advance_until(now_ + config_.delta);
+  }
+  std::sort(result_.coflows.begin(), result_.coflows.end(),
+            [](const CoflowRecord& a, const CoflowRecord& b) {
+              return a.id < b.id;
+            });
+  running_ = false;
+  return std::move(result_);
+}
+
+SimResult simulate(const trace::Trace& trace, Scheduler& scheduler,
+                   const SimConfig& config) {
+  Engine engine(trace, scheduler, config);
+  return engine.run();
+}
+
+}  // namespace saath

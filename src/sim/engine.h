@@ -1,0 +1,121 @@
+// Discrete-event, flow-level simulation engine.
+//
+// Time advances between *scheduling epochs* (every δ, the coordinator's
+// recomputation interval, §4.1–§5): at each epoch the engine admits pending
+// arrivals, applies dynamics events, and asks the Scheduler for a fresh rate
+// assignment; between epochs flows progress as a fluid at fixed rates and
+// completions are resolved at their exact (µs-rounded) instants. Matching
+// the paper's coordinator semantics, freed bandwidth is NOT re-allocated
+// until the next epoch unless `reallocate_on_completion` is set — this is
+// what makes the δ-sensitivity experiment (Fig 14c) meaningful.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/result.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+
+namespace saath {
+
+struct SimConfig {
+  Rate port_bandwidth = gbps(1);
+  /// Coordinator scheduling interval δ (default 8 ms, §6).
+  SimTime delta = msec(8);
+  /// If true, a flow completion triggers an immediate re-schedule instead of
+  /// waiting for the next epoch (idealized coordinator).
+  bool reallocate_on_completion = false;
+  /// Verify port budgets after every schedule (cheap; on by default).
+  bool check_capacity = true;
+  /// Runaway guard: the run throws if simulated time passes this.
+  SimTime max_sim_time = seconds(500'000);
+};
+
+/// Cluster dynamics injected into a run (§4.3).
+struct DynamicsEvent {
+  enum class Kind {
+    /// Machine dies: progress of unfinished flows touching the port is lost
+    /// (tasks restart) and affected CoFlows are flagged for the scheduler.
+    kNodeFailure,
+    /// Port slows to `capacity_factor` of nominal bandwidth.
+    kStragglerStart,
+    /// Port returns to nominal bandwidth.
+    kStragglerEnd,
+  };
+  SimTime time = 0;
+  Kind kind = Kind::kNodeFailure;
+  PortIndex port = kInvalidPort;
+  double capacity_factor = 1.0;
+};
+
+class Engine {
+ public:
+  Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config = {});
+
+  /// Pre-run configuration -------------------------------------------------
+  void add_dynamics_event(DynamicsEvent event);
+  /// §4.3 pipelining: the CoFlow's shuffle data only becomes available at
+  /// `when`; spatially-aware schedulers skip it, others waste the slot.
+  void set_data_available_at(CoflowId id, SimTime when);
+
+  /// Invoked when a CoFlow finishes; DAG runners use it to release
+  /// dependent stages via inject_coflow().
+  using CompletionCallback =
+      std::function<void(const CoflowRecord&, SimTime, Engine&)>;
+  void set_completion_callback(CompletionCallback cb);
+
+  /// Adds a CoFlow during the run (arrival must be >= now).
+  void inject_coflow(CoflowSpec spec);
+
+  /// Runs to completion of all CoFlows and returns the per-CoFlow records.
+  [[nodiscard]] SimResult run();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] int scheduling_rounds() const { return rounds_; }
+
+ private:
+  void admit_arrivals();
+  void process_dynamics();
+  void compute_schedule();
+  void verify_capacity() const;
+  /// Advances the fluid model to `epoch_end`, resolving completions exactly.
+  void advance_until(SimTime epoch_end);
+  void harvest_completions(SimTime at);
+  void finalize_coflow(CoflowState& coflow, SimTime at);
+
+  trace::Trace trace_;
+  Scheduler& scheduler_;
+  SimConfig config_;
+  Fabric fabric_;
+
+  struct ArrivalLater {
+    bool operator()(const CoflowSpec& a, const CoflowSpec& b) const {
+      return a.arrival > b.arrival ||
+             (a.arrival == b.arrival && a.id.value > b.id.value);
+    }
+  };
+  std::priority_queue<CoflowSpec, std::vector<CoflowSpec>, ArrivalLater> pending_;
+  std::vector<std::unique_ptr<CoflowState>> all_coflows_;
+  std::vector<CoflowState*> active_;
+  std::vector<DynamicsEvent> dynamics_;  // sorted by time, consumed in order
+  std::size_t next_dynamics_ = 0;
+  std::unordered_map<CoflowId, SimTime> data_available_at_;
+  CompletionCallback completion_callback_;
+
+  SimResult result_;
+  SimTime now_ = 0;
+  int rounds_ = 0;
+  std::int64_t next_flow_id_ = 0;
+  bool running_ = false;
+};
+
+/// Convenience wrapper: build an engine and run the trace through the
+/// scheduler with the given config.
+[[nodiscard]] SimResult simulate(const trace::Trace& trace, Scheduler& scheduler,
+                                 const SimConfig& config = {});
+
+}  // namespace saath

@@ -1,0 +1,42 @@
+#include "sim/result.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace saath {
+
+std::vector<double> SimResult::ccts_seconds() const {
+  std::vector<double> out;
+  out.reserve(coflows.size());
+  for (const auto& c : coflows) out.push_back(c.cct_seconds());
+  return out;
+}
+
+Summary SimResult::cct_summary() const {
+  const auto ccts = ccts_seconds();
+  return summarize(ccts);
+}
+
+const CoflowRecord* SimResult::find(CoflowId id) const {
+  for (const auto& c : coflows) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<double> SimResult::speedup_over(const SimResult& baseline) const {
+  std::vector<double> speedups;
+  speedups.reserve(coflows.size());
+  for (const auto& mine : coflows) {
+    const CoflowRecord* other = baseline.find(mine.id);
+    SAATH_EXPECTS(other != nullptr);
+    const double mine_s = mine.cct_seconds();
+    const double base_s = other->cct_seconds();
+    SAATH_EXPECTS(mine_s > 0);
+    speedups.push_back(base_s / mine_s);
+  }
+  return speedups;
+}
+
+}  // namespace saath

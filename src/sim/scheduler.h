@@ -1,0 +1,53 @@
+// Scheduler interface the simulation engine drives.
+//
+// Once per scheduling epoch (every δ, §4.1) the engine hands the scheduler
+// the set of active CoFlows and a Fabric whose budgets have been reset; the
+// scheduler must assign a rate to every unfinished flow (0 is allowed) while
+// respecting port budgets via Fabric::consume.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "coflow/coflow.h"
+#include "fabric/fabric.h"
+
+namespace saath {
+
+/// Clears every unfinished flow's rate. Schedulers call this first so each
+/// epoch's assignment starts from a blank slate even when invoked outside
+/// the engine (unit tests, the testbed decorator).
+inline void zero_rates(std::span<CoflowState* const> active) {
+  for (CoflowState* c : active) {
+    for (auto& f : c->flows()) f.set_rate(0);
+  }
+}
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Computes the rate assignment for this epoch.
+  virtual void schedule(SimTime now, std::span<CoflowState* const> active,
+                        Fabric& fabric) = 0;
+
+  /// Lifecycle notifications (optional overrides).
+  virtual void on_coflow_arrival(CoflowState& coflow, SimTime now) {
+    (void)coflow;
+    (void)now;
+  }
+  virtual void on_flow_complete(CoflowState& coflow, FlowState& flow,
+                                SimTime now) {
+    (void)coflow;
+    (void)flow;
+    (void)now;
+  }
+  virtual void on_coflow_complete(CoflowState& coflow, SimTime now) {
+    (void)coflow;
+    (void)now;
+  }
+};
+
+}  // namespace saath

@@ -1,0 +1,125 @@
+#include "trace/fb_format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/expect.h"
+
+namespace saath::trace {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("fb trace parse error (coflow line " +
+                           std::to_string(line) + "): " + what);
+}
+
+}  // namespace
+
+Trace parse_fb_trace(std::istream& in, std::string name) {
+  Trace trace;
+  trace.name = std::move(name);
+
+  int num_coflows = 0;
+  if (!(in >> trace.num_ports >> num_coflows)) {
+    throw std::runtime_error("fb trace parse error: bad header");
+  }
+  if (trace.num_ports <= 0 || num_coflows < 0) {
+    throw std::runtime_error("fb trace parse error: non-positive header");
+  }
+
+  PortIndex min_port = trace.num_ports;
+  PortIndex max_port = 0;
+
+  for (int i = 0; i < num_coflows; ++i) {
+    std::int64_t id = 0;
+    std::int64_t arrival_ms = 0;
+    int num_mappers = 0;
+    if (!(in >> id >> arrival_ms >> num_mappers)) fail(i, "bad coflow header");
+    if (num_mappers <= 0) fail(i, "non-positive mapper count");
+
+    std::vector<PortIndex> mappers(static_cast<std::size_t>(num_mappers));
+    for (auto& m : mappers) {
+      if (!(in >> m)) fail(i, "missing mapper port");
+      min_port = std::min(min_port, m);
+      max_port = std::max(max_port, m);
+    }
+
+    int num_reducers = 0;
+    if (!(in >> num_reducers)) fail(i, "missing reducer count");
+    if (num_reducers <= 0) fail(i, "non-positive reducer count");
+
+    CoflowSpec c;
+    c.id = CoflowId{id};
+    c.arrival = msec(arrival_ms);
+    for (int r = 0; r < num_reducers; ++r) {
+      std::string token;
+      if (!(in >> token)) fail(i, "missing reducer token");
+      const auto colon = token.find(':');
+      if (colon == std::string::npos) fail(i, "reducer token missing ':'");
+      PortIndex reducer = 0;
+      double total_mb = 0;
+      try {
+        reducer = static_cast<PortIndex>(std::stol(token.substr(0, colon)));
+        total_mb = std::stod(token.substr(colon + 1));
+      } catch (const std::exception&) {
+        fail(i, "unparseable reducer token '" + token + "'");
+      }
+      if (total_mb < 0) fail(i, "negative reducer size");
+      min_port = std::min(min_port, reducer);
+      max_port = std::max(max_port, reducer);
+
+      // All-to-all mesh: each mapper contributes an equal share of the
+      // reducer's total shuffle bytes.
+      const auto per_flow = static_cast<Bytes>(
+          std::llround(total_mb * static_cast<double>(kMB) / num_mappers));
+      for (PortIndex m : mappers) {
+        c.flows.push_back({m, reducer, std::max<Bytes>(per_flow, 1)});
+      }
+    }
+    trace.coflows.push_back(std::move(c));
+  }
+
+  // The public benchmark numbers ports 1..N; programmatic traces use 0..N-1.
+  if (!trace.coflows.empty() && min_port >= 1 && max_port >= trace.num_ports) {
+    for (auto& c : trace.coflows) {
+      for (auto& f : c.flows) {
+        f.src -= 1;
+        f.dst -= 1;
+      }
+    }
+  }
+
+  trace.normalize();
+  return trace;
+}
+
+Trace load_fb_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_fb_trace(in, path);
+}
+
+void write_fb_trace(std::ostream& out, const Trace& trace) {
+  out << trace.num_ports << ' ' << trace.coflows.size() << '\n';
+  for (const auto& c : trace.coflows) {
+    std::set<PortIndex> mappers;
+    std::map<PortIndex, double> reducer_mb;
+    for (const auto& f : c.flows) {
+      mappers.insert(f.src);
+      reducer_mb[f.dst] += static_cast<double>(f.size) / static_cast<double>(kMB);
+    }
+    out << c.id.value << ' ' << c.arrival / 1000 << ' ' << mappers.size();
+    for (PortIndex m : mappers) out << ' ' << m;
+    out << ' ' << reducer_mb.size();
+    for (const auto& [port, mb] : reducer_mb) out << ' ' << port << ':' << mb;
+    out << '\n';
+  }
+}
+
+}  // namespace saath::trace

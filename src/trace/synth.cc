@@ -1,0 +1,263 @@
+#include "trace/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace saath::trace {
+
+namespace {
+
+/// Log-uniform draw in [lo, hi] — the standard heavy-ish-tail stand-in for
+/// datacenter transfer sizes.
+[[nodiscard]] double log_uniform(Rng& rng, double lo, double hi) {
+  SAATH_EXPECTS(0 < lo && lo <= hi);
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+/// Zipf-weighted port popularity: cumulative weights over ports 0..P-1
+/// with weight(i) = 1 / (i+1)^s. Port identity doubles as popularity rank.
+[[nodiscard]] std::vector<double> zipf_cdf(int num_ports, double s) {
+  std::vector<double> cdf(static_cast<std::size_t>(num_ports));
+  double acc = 0;
+  for (int i = 0; i < num_ports; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[static_cast<std::size_t>(i)] = acc;
+  }
+  for (auto& v : cdf) v /= acc;
+  return cdf;
+}
+
+/// Samples `count` distinct ports by popularity (rejection on duplicates).
+[[nodiscard]] std::vector<PortIndex> sample_ports(Rng& rng, int count,
+                                                  int num_ports,
+                                                  std::span<const double> cdf) {
+  SAATH_EXPECTS(count <= num_ports);
+  std::unordered_set<PortIndex> chosen;
+  std::vector<PortIndex> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Rejection sampling stalls once most hot ports are taken; fall back to
+  // scanning after a bounded number of misses.
+  int misses = 0;
+  while (static_cast<int>(out.size()) < count) {
+    PortIndex p;
+    if (misses < 20 * count) {
+      const double u = rng.uniform(0.0, 1.0);
+      p = static_cast<PortIndex>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      p = std::min<PortIndex>(p, num_ports - 1);
+    } else {
+      p = static_cast<PortIndex>(rng.uniform_int(0, num_ports - 1));
+    }
+    if (chosen.insert(p).second) {
+      out.push_back(p);
+    } else {
+      ++misses;
+    }
+  }
+  return out;
+}
+
+/// Uniformly random divisor of w, giving an exact m x r = w mesh.
+[[nodiscard]] int random_divisor(Rng& rng, int w) {
+  std::vector<int> divisors;
+  for (int d = 1; d * d <= w; ++d) {
+    if (w % d == 0) {
+      divisors.push_back(d);
+      if (d != w / d) divisors.push_back(w / d);
+    }
+  }
+  return divisors[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(divisors.size()) - 1))];
+}
+
+struct MeshShape {
+  int mappers = 1;
+  int reducers = 1;
+  [[nodiscard]] int width() const { return mappers * reducers; }
+};
+
+/// Chooses an m x r mesh whose width lands in the requested bucket.
+[[nodiscard]] MeshShape sample_mesh(Rng& rng, bool narrow, int num_ports) {
+  MeshShape shape;
+  if (narrow) {
+    // Exact width in [2, 10]: pick the width, then a divisor split.
+    const int w = static_cast<int>(rng.uniform_int(2, 10));
+    shape.mappers = random_divisor(rng, w);
+    shape.reducers = w / shape.mappers;
+  } else {
+    // Wide: log-uniform target width in (10, cap]; approximate it with
+    // m = O(sqrt(w)) mappers so meshes look like real map-reduce shuffles.
+    // Small fabrics still need cap > 10 for a "wide" CoFlow to exist.
+    const int cap = std::max(12, std::min(1500, num_ports * num_ports / 4));
+    const int w = static_cast<int>(log_uniform(rng, 11.0, cap));
+    const int m_max = std::max(1, static_cast<int>(std::sqrt(w)));
+    shape.mappers = static_cast<int>(rng.uniform_int(1, m_max));
+    shape.reducers = (w + shape.mappers - 1) / shape.mappers;
+  }
+  shape.mappers = std::min(shape.mappers, num_ports);
+  shape.reducers = std::min(shape.reducers, num_ports);
+  return shape;
+}
+
+/// Builds the all-to-all flows for a mesh with the given per-reducer totals.
+void build_mesh_flows(CoflowSpec& c, std::span<const PortIndex> mappers,
+                      std::span<const PortIndex> reducers,
+                      std::span<const double> reducer_bytes) {
+  SAATH_EXPECTS(reducers.size() == reducer_bytes.size());
+  for (std::size_t j = 0; j < reducers.size(); ++j) {
+    const auto per_flow = std::max<Bytes>(
+        1, static_cast<Bytes>(std::llround(
+               reducer_bytes[j] / static_cast<double>(mappers.size()))));
+    for (PortIndex m : mappers) {
+      c.flows.push_back({m, reducers[j], per_flow});
+    }
+  }
+}
+
+struct SizeBands {
+  double small_lo, small_hi;  // total coflow bytes when "small" (<= 100MB)
+  double large_lo, large_hi;  // total coflow bytes when "large"
+};
+
+[[nodiscard]] Trace synth_impl(const SynthConfig& cfg, const SizeBands& bands,
+                               const std::string& name) {
+  SAATH_EXPECTS(cfg.num_ports > 0 && cfg.num_coflows > 0);
+  Rng rng(cfg.seed);
+  Trace trace;
+  trace.name = name;
+  trace.num_ports = cfg.num_ports;
+  const auto cdf = zipf_cdf(cfg.num_ports, cfg.port_zipf);
+
+  // Arrivals: wave bursts + Poisson background (see SynthConfig).
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(cfg.num_coflows));
+  const int num_waves = std::max(
+      1, static_cast<int>(cfg.num_coflows * cfg.p_burst / cfg.mean_wave_size));
+  std::vector<double> wave_centers(static_cast<std::size_t>(num_waves));
+  for (auto& w : wave_centers) {
+    w = rng.uniform(0.0, static_cast<double>(cfg.arrival_span));
+  }
+  for (int i = 0; i < cfg.num_coflows; ++i) {
+    double at;
+    if (rng.bernoulli(cfg.p_burst)) {
+      const auto wave = static_cast<std::size_t>(
+          rng.uniform_int(0, num_waves - 1));
+      at = wave_centers[wave] +
+           rng.exponential(static_cast<double>(cfg.wave_jitter));
+    } else {
+      at = rng.uniform(0.0, static_cast<double>(cfg.arrival_span));
+    }
+    arrivals.push_back(static_cast<SimTime>(
+        std::min(at, static_cast<double>(cfg.arrival_span))));
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  for (int i = 0; i < cfg.num_coflows; ++i) {
+    CoflowSpec c;
+    c.id = CoflowId{i};
+    c.arrival = arrivals[static_cast<std::size_t>(i)];
+
+    const bool single = rng.bernoulli(cfg.p_single);
+    MeshShape shape;
+    bool narrow = true;
+    if (!single) {
+      narrow = rng.bernoulli(cfg.p_narrow_given_multi);
+      shape = sample_mesh(rng, narrow, cfg.num_ports);
+    }
+
+    const double p_small =
+        (single || narrow) ? cfg.p_small_given_narrow : cfg.p_small_given_wide;
+    const bool small = rng.bernoulli(p_small);
+    const double total_bytes =
+        small ? log_uniform(rng, bands.small_lo, bands.small_hi)
+              : log_uniform(rng, bands.large_lo, bands.large_hi);
+
+    const auto mappers = sample_ports(rng, shape.mappers, cfg.num_ports, cdf);
+    const auto reducers = sample_ports(rng, shape.reducers, cfg.num_ports, cdf);
+
+    std::vector<double> reducer_bytes(static_cast<std::size_t>(shape.reducers));
+    const bool equal = single || rng.bernoulli(cfg.p_equal_given_multi);
+    if (equal) {
+      std::fill(reducer_bytes.begin(), reducer_bytes.end(),
+                total_bytes / shape.reducers);
+    } else {
+      // Lognormal per-reducer skew, renormalized to the drawn total. If the
+      // skew collapses to near-equality (possible for tiny meshes), force
+      // one reducer to differ so the equal/unequal classification is stable.
+      double sum = 0;
+      for (auto& b : reducer_bytes) {
+        b = std::exp(rng.uniform(-1.0, 1.0));
+        sum += b;
+      }
+      for (auto& b : reducer_bytes) b *= total_bytes / sum;
+      if (shape.reducers == 1 && shape.mappers > 1) {
+        // Unequal lengths need at least two distinct flow sizes, but an
+        // all-to-all mesh forces equal mapper shares per reducer; fall back
+        // to the equal classification for these shapes.
+      }
+    }
+
+    build_mesh_flows(c, mappers, reducers, reducer_bytes);
+    trace.coflows.push_back(std::move(c));
+  }
+
+  trace.normalize();
+  return trace;
+}
+
+}  // namespace
+
+Trace synth_fb_trace(const SynthConfig& config) {
+  const SizeBands bands{
+      .small_lo = 0.1 * kMB,
+      .small_hi = 100.0 * kMB,
+      .large_lo = 100.0 * kMB,
+      .large_hi = 10.0 * kGB,
+  };
+  return synth_impl(config, bands, "fb-synth");
+}
+
+Trace synth_osp_trace(std::uint64_t seed) {
+  // §6.1: the OSP cluster's ports are busier than FB's — more CoFlows
+  // queued per port. We synthesize that with more CoFlows on fewer ports
+  // arriving over a shorter span, with a narrower/smaller mix.
+  SynthConfig cfg;
+  cfg.num_ports = 100;
+  cfg.num_coflows = 1000;
+  cfg.arrival_span = seconds(30);
+  cfg.port_zipf = 1.0;
+  cfg.seed = seed;
+  cfg.p_single = 0.30;
+  cfg.p_narrow_given_multi = 0.62;
+  cfg.p_small_given_narrow = 0.85;
+  cfg.p_small_given_wide = 0.50;
+  const SizeBands bands{
+      .small_lo = 0.1 * kMB,
+      .small_hi = 100.0 * kMB,
+      .large_lo = 100.0 * kMB,
+      .large_hi = 5.0 * kGB,
+  };
+  return synth_impl(cfg, bands, "osp-synth");
+}
+
+Trace synth_small_trace(int num_ports, int num_coflows, std::uint64_t seed) {
+  SynthConfig cfg;
+  cfg.num_ports = num_ports;
+  cfg.num_coflows = num_coflows;
+  cfg.arrival_span = seconds(10);
+  cfg.seed = seed;
+  const SizeBands bands{
+      .small_lo = 0.1 * kMB,
+      .small_hi = 50.0 * kMB,
+      .large_lo = 50.0 * kMB,
+      .large_hi = 500.0 * kMB,
+  };
+  return synth_impl(cfg, bands, "small-synth");
+}
+
+}  // namespace saath::trace

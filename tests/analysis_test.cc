@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/bins.h"
+#include "analysis/deviation.h"
+#include "analysis/metrics.h"
+#include "analysis/table.h"
+#include "trace/synth.h"
+
+namespace saath {
+namespace {
+
+CoflowRecord record(std::int64_t id, double arrival_s, double finish_s,
+                    int width, Bytes bytes) {
+  CoflowRecord r;
+  r.id = CoflowId{id};
+  r.arrival = static_cast<SimTime>(arrival_s * 1e6);
+  r.finish = static_cast<SimTime>(finish_s * 1e6);
+  r.width = width;
+  r.total_bytes = bytes;
+  for (int i = 0; i < width; ++i) {
+    r.flow_fcts_seconds.push_back(finish_s - arrival_s);
+    r.flow_sizes.push_back(static_cast<double>(bytes) / width);
+  }
+  return r;
+}
+
+TEST(Metrics, SpeedupMatchedByCoflowId) {
+  SimResult fast, slow;
+  fast.scheduler = "fast";
+  slow.scheduler = "slow";
+  fast.coflows = {record(0, 0, 1, 1, 10), record(1, 0, 2, 1, 10)};
+  slow.coflows = {record(1, 0, 8, 1, 10), record(0, 0, 3, 1, 10)};
+  const auto sp = fast.speedup_over(slow);
+  ASSERT_EQ(sp.size(), 2u);
+  EXPECT_DOUBLE_EQ(sp[0], 3.0);
+  EXPECT_DOUBLE_EQ(sp[1], 4.0);
+}
+
+TEST(Metrics, SummaryFieldsPopulated) {
+  SimResult a, b;
+  a.scheduler = "a";
+  b.scheduler = "b";
+  for (int i = 0; i < 100; ++i) {
+    a.coflows.push_back(record(i, 0, 1.0, 1, 10));
+    b.coflows.push_back(record(i, 0, 1.0 + i % 10, 1, 10));
+  }
+  const auto s = summarize_speedup(a, b);
+  EXPECT_EQ(s.scheme, "a");
+  EXPECT_EQ(s.baseline, "b");
+  EXPECT_EQ(s.coflows, 100u);
+  EXPECT_GE(s.p90, s.median);
+  EXPECT_GE(s.median, s.p10);
+  EXPECT_GT(s.overall, 1.0);
+}
+
+TEST(Metrics, RunSchedulersProducesAllResults) {
+  const auto t = trace::synth_small_trace(5, 10, 31);
+  SimConfig cfg;
+  cfg.port_bandwidth = 1e6;
+  cfg.delta = msec(50);
+  const auto results = run_schedulers(t, {"aalo", "saath"}, cfg);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.at("aalo").coflows.size(), t.coflows.size());
+  EXPECT_EQ(results.at("saath").coflows.size(), t.coflows.size());
+}
+
+TEST(Bins, BoundariesMatchTable1) {
+  EXPECT_EQ(bin_of(100 * kMB, 10), 0);      // inclusive boundaries -> bin-1
+  EXPECT_EQ(bin_of(100 * kMB, 11), 1);
+  EXPECT_EQ(bin_of(100 * kMB + 1, 10), 2);
+  EXPECT_EQ(bin_of(100 * kMB + 1, 11), 3);
+  EXPECT_EQ(bin_of(1, 1), 0);
+}
+
+TEST(Bins, LabelsAreDistinct) {
+  for (int b = 0; b < kNumBins; ++b) {
+    for (int b2 = b + 1; b2 < kNumBins; ++b2) {
+      EXPECT_NE(bin_label(b), bin_label(b2));
+    }
+  }
+}
+
+TEST(Bins, BinnedSpeedupGroupsCorrectly) {
+  SimResult fast, slow;
+  fast.scheduler = "x";
+  slow.scheduler = "y";
+  // bin-1 coflow sped up 2x; bin-4 coflow sped up 4x.
+  fast.coflows = {record(0, 0, 1, 1, 10), record(1, 0, 1, 20, 200 * kMB)};
+  slow.coflows = {record(0, 0, 2, 1, 10), record(1, 0, 4, 20, 200 * kMB)};
+  const auto b = binned_speedup(fast, slow);
+  EXPECT_DOUBLE_EQ(b.median_speedup[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.median_speedup[3], 4.0);
+  EXPECT_EQ(b.count[0], 1u);
+  EXPECT_EQ(b.count[1], 0u);
+  EXPECT_DOUBLE_EQ(b.fraction[0], 0.5);
+}
+
+TEST(Deviation, SplitsEqualAndUnequal) {
+  SimResult r;
+  r.scheduler = "x";
+  auto rec1 = record(0, 0, 1, 2, 100);  // equal flows, fcts equal -> dev 0
+  auto rec2 = record(1, 0, 1, 2, 100);
+  rec2.equal_flow_lengths = false;
+  rec2.flow_fcts_seconds = {1.0, 3.0};  // dev = 0.5
+  auto rec3 = record(2, 0, 1, 1, 100);  // single-flow: excluded
+  r.coflows = {rec1, rec2, rec3};
+  const auto d = fct_deviation(r);
+  ASSERT_EQ(d.equal_length.size(), 1u);
+  ASSERT_EQ(d.unequal_length.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.equal_length[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.unequal_length[0], 0.5);
+}
+
+TEST(Deviation, FullySynchronizedFraction) {
+  SimResult r;
+  r.scheduler = "x";
+  auto synced = record(0, 0, 1, 2, 100);
+  auto skewed = record(1, 0, 1, 2, 100);
+  skewed.flow_fcts_seconds = {1.0, 2.0};
+  r.coflows = {synced, skewed};
+  EXPECT_DOUBLE_EQ(fraction_fully_synchronized(r), 0.5);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"scheme", "p50"});
+  t.add_row({"saath", "1.53"});
+  t.add_row({"aalo-longname", "1.00"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("aalo-longname"), std::string::npos);
+  EXPECT_NE(s.find("1.53"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(1.234567, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(37.25, 1), "37.2");  // round-half-even is fine either way
+}
+
+TEST(Table, PrintCdfFormat) {
+  std::ostringstream os;
+  print_cdf(os, "test-cdf", {{1.0, 0.5}, {2.0, 1.0}});
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("# test-cdf"), 0u);
+  EXPECT_NE(s.find("2.0000 1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saath

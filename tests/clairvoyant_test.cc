@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fabric/fabric.h"
+#include "sched/clairvoyant.h"
+#include "sim/engine.h"
+#include "test_util.h"
+#include "trace/synth.h"
+
+namespace saath {
+namespace {
+
+using testing::make_coflow;
+using testing::make_trace;
+using testing::toy_config;
+
+TEST(Clairvoyant, Names) {
+  EXPECT_EQ(ClairvoyantScheduler(ClairvoyantPolicy::kSCF).name(), "scf");
+  EXPECT_EQ(ClairvoyantScheduler(ClairvoyantPolicy::kSRTF).name(), "srtf");
+  EXPECT_EQ(ClairvoyantScheduler(ClairvoyantPolicy::kLWTF).name(), "lwtf");
+  EXPECT_EQ(ClairvoyantScheduler(ClairvoyantPolicy::kSEBF).name(), "sebf");
+}
+
+TEST(Scf, ShortestTotalSizeFirst) {
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 5000}}));
+  set.add(make_coflow(1, usec(1), {{0, 2, 100}}));
+  ClairvoyantScheduler sched(ClairvoyantPolicy::kSCF);
+  Fabric fabric(3, 100.0);
+  sched.schedule(0, set.active(), fabric);
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 100.0);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 0.0);
+}
+
+TEST(Scf, StaticSizeEvenAfterProgress) {
+  // SCF keys on the *static* total; SRTF on remaining. C0 is bigger but has
+  // nearly finished: SRTF prefers C0, SCF still prefers C1.
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 5000}}));
+  set.add(make_coflow(1, usec(1), {{0, 2, 1000}}));
+  set.at(0).flows()[0].set_rate(4950.0);
+  set.at(0).advance_all(seconds(1));  // remaining 50 < 1000
+
+  ClairvoyantScheduler scf(ClairvoyantPolicy::kSCF);
+  Fabric f1(3, 100.0);
+  scf.schedule(seconds(1), set.active(), f1);
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 100.0);
+
+  for (auto& fl : set.at(0).flows()) fl.set_rate(0);
+  for (auto& fl : set.at(1).flows()) fl.set_rate(0);
+  ClairvoyantScheduler srtf(ClairvoyantPolicy::kSRTF);
+  Fabric f2(3, 100.0);
+  srtf.schedule(seconds(1), set.active(), f2);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 100.0);
+}
+
+TEST(Lwtf, ContentionWeightsDuration) {
+  // Fig 17 shape: C1 is "short" by size but blocks two coflows; SJF picks
+  // C1 first, LWTF weighs duration x contention.
+  // C1: flows on both ports, 500 bytes each (t=5). k1=2 -> 10.
+  // C2: port 0 only, 600 bytes (t=6), k2=1 -> 6.  C3: port 1, 700 (t=7) -> 7.
+  testing::StateSet set;
+  set.add(make_coflow(1, 0, {{0, 2, 500}, {1, 3, 500}}));
+  set.add(make_coflow(2, usec(1), {{0, 4, 600}}));
+  set.add(make_coflow(3, usec(2), {{1, 5, 700}}));
+  ClairvoyantScheduler lwtf(ClairvoyantPolicy::kLWTF);
+  Fabric fabric(6, 100.0);
+  lwtf.schedule(0, set.active(), fabric);
+  // LWTF order: C2 (6), C3 (7), C1 (10): C2 and C3 get their ports.
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 100.0);
+  EXPECT_DOUBLE_EQ(set.at(2).flows()[0].rate(), 100.0);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 0.0);
+
+  // SCF does the opposite: C1 (1000 total) before... no — C1 total = 1000,
+  // C2 = 600: SCF picks C2 first, then C1 blocks C3? Verify C1 beats C3.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (auto& fl : set.at(i).flows()) fl.set_rate(0);
+  }
+  ClairvoyantScheduler scf(ClairvoyantPolicy::kSCF);
+  Fabric f2(6, 100.0);
+  scf.schedule(0, set.active(), f2);
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 100.0);  // C2: 600
+  // C3 (700) beats C1 (1000) on total size too; C1 gets port 1 leftovers=0.
+  EXPECT_DOUBLE_EQ(set.at(2).flows()[0].rate(), 100.0);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 0.0);
+}
+
+TEST(Fig17, SjfSuboptimalEndToEnd) {
+  // Appendix A, Fig 17: P1 hosts C1,C2; P2 hosts C1,C3.
+  // C1 = 5t on both ports; C2 = 6t on P1; C3 = 7t on P2.
+  // Fig 17's "SJF" keys on CoFlow *duration*, which for equal-rate ports is
+  // exactly the SEBF bottleneck metric: C1 (5t) goes first -> CCTs 5,11,12
+  // (avg 9.3t). LWTF weighs duration by contention (k1=2): C2,C3 first ->
+  // CCTs 12,6,7 (avg 8.3t).
+  auto c1 = make_coflow(0, 0, {{0, 2, 500}, {1, 3, 500}});
+  auto c2 = make_coflow(1, usec(1), {{0, 4, 600}});
+  auto c3 = make_coflow(2, usec(2), {{1, 5, 700}});
+  auto t = make_trace(6, {c1, c2, c3});
+
+  ClairvoyantScheduler sjf(ClairvoyantPolicy::kSEBF);
+  const auto r_sjf = simulate(t, sjf, toy_config());
+  EXPECT_NEAR(r_sjf.coflows[0].cct_seconds(), 5.0, 0.2);
+  EXPECT_NEAR(r_sjf.coflows[1].cct_seconds(), 11.0, 0.3);
+  EXPECT_NEAR(r_sjf.coflows[2].cct_seconds(), 12.0, 0.3);
+
+  ClairvoyantScheduler lwtf(ClairvoyantPolicy::kLWTF);
+  const auto r_lwtf = simulate(t, lwtf, toy_config());
+  EXPECT_NEAR(r_lwtf.coflows[1].cct_seconds(), 6.0, 0.3);
+  EXPECT_NEAR(r_lwtf.coflows[2].cct_seconds(), 7.0, 0.3);
+  EXPECT_NEAR(r_lwtf.coflows[0].cct_seconds(), 12.0, 0.4);
+
+  const auto avg = [](const SimResult& r) {
+    double s = 0;
+    for (const auto& c : r.coflows) s += c.cct_seconds();
+    return s / 3.0;
+  };
+  EXPECT_LT(avg(r_lwtf), avg(r_sjf));
+}
+
+TEST(Sebf, BottleneckOrdering) {
+  // C0's bottleneck: 2000 bytes via one port -> 20 s; C1: 300 bytes spread
+  // over two ports -> 1.5s... wait, 300 on one port = 3 s. SEBF runs C1 first.
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 2000}}));
+  set.add(make_coflow(1, usec(1), {{0, 2, 300}}));
+  ClairvoyantScheduler sebf(ClairvoyantPolicy::kSEBF);
+  Fabric fabric(3, 100.0);
+  sebf.schedule(0, set.active(), fabric);
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 100.0);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 0.0);
+}
+
+TEST(Sebf, MaddFinishesFlowsTogether) {
+  // Width-2 coflow, uneven flows (300 and 100 bytes) on separate ports:
+  // MADD paces the short flow at 1/3 the rate so both end at Γ = 3 s.
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 2, 300}, {1, 3, 100}}));
+  ClairvoyantScheduler sebf(ClairvoyantPolicy::kSEBF);
+  Fabric fabric(4, 100.0);
+  sebf.schedule(0, set.active(), fabric);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 100.0);
+  EXPECT_NEAR(set.at(0).flows()[1].rate(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Sebf, BackfillsWhenBlocked) {
+  // C0 takes port 0; C1 (worse bottleneck) shares port 0 but also has a
+  // flow on free port 3 — MADD skips C1, greedy backfill runs that flow.
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 100}}));
+  set.add(make_coflow(1, usec(1), {{0, 2, 500}, {3, 4, 500}}));
+  ClairvoyantScheduler sebf(ClairvoyantPolicy::kSEBF);
+  Fabric fabric(5, 100.0);
+  sebf.schedule(0, set.active(), fabric);
+  EXPECT_DOUBLE_EQ(set.at(0).flows()[0].rate(), 100.0);
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 0.0);
+  EXPECT_DOUBLE_EQ(set.at(1).flows()[1].rate(), 100.0);
+}
+
+TEST(Clairvoyant, AllCompleteOnRandomTrace) {
+  const auto t = trace::synth_small_trace(6, 25, 17);
+  for (const auto policy :
+       {ClairvoyantPolicy::kSCF, ClairvoyantPolicy::kSRTF,
+        ClairvoyantPolicy::kLWTF, ClairvoyantPolicy::kSEBF}) {
+    ClairvoyantScheduler sched(policy);
+    SimConfig cfg;
+    cfg.port_bandwidth = 1e6;
+    cfg.delta = msec(50);
+    const auto result = simulate(t, sched, cfg);
+    EXPECT_EQ(result.coflows.size(), t.coflows.size()) << sched.name();
+  }
+}
+
+}  // namespace
+}  // namespace saath

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coflow/coflow.h"
+#include "coflow/job.h"
+#include "test_util.h"
+
+namespace saath {
+namespace {
+
+using testing::make_coflow;
+
+CoflowSpec two_by_two() {
+  return make_coflow(1, 0,
+                     {{0, 2, 100}, {0, 3, 100}, {1, 2, 100}, {1, 3, 100}});
+}
+
+TEST(CoflowSpec, Aggregates) {
+  const auto c = make_coflow(1, 5, {{0, 1, 100}, {0, 2, 300}});
+  EXPECT_EQ(c.width(), 2);
+  EXPECT_EQ(c.total_bytes(), 400);
+  EXPECT_EQ(c.max_flow_bytes(), 300);
+}
+
+TEST(FlowState, AdvancesAtRate) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 1000});
+  f.set_rate(100.0);  // bytes/sec
+  f.advance(seconds(3));
+  EXPECT_DOUBLE_EQ(f.sent(), 300.0);
+  EXPECT_DOUBLE_EQ(f.remaining(), 700.0);
+  EXPECT_DOUBLE_EQ(f.seconds_to_finish(), 7.0);
+}
+
+TEST(FlowState, AdvanceClampsAtSize) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 100});
+  f.set_rate(100.0);
+  f.advance(seconds(5));
+  EXPECT_DOUBLE_EQ(f.sent(), 100.0);
+  EXPECT_DOUBLE_EQ(f.remaining(), 0.0);
+}
+
+TEST(FlowState, ZeroRateNeverFinishes) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 100});
+  f.advance(seconds(1000));
+  EXPECT_DOUBLE_EQ(f.sent(), 0.0);
+  EXPECT_TRUE(std::isinf(f.seconds_to_finish()));
+}
+
+TEST(FlowState, CompleteStampsTime) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 100});
+  f.complete(msec(1500));
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(f.finish_time(), msec(1500));
+  EXPECT_DOUBLE_EQ(f.sent(), 100.0);
+  EXPECT_DOUBLE_EQ(f.rate(), 0.0);
+}
+
+TEST(FlowState, RestartDiscardsProgress) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 1000});
+  f.set_rate(100.0);
+  f.advance(seconds(4));
+  EXPECT_DOUBLE_EQ(f.restart(), 400.0);
+  EXPECT_DOUBLE_EQ(f.sent(), 0.0);
+  EXPECT_DOUBLE_EQ(f.rate(), 0.0);
+  EXPECT_FALSE(f.finished());
+}
+
+TEST(CoflowState, PortLoadsCountFlows) {
+  CoflowState c(two_by_two(), FlowId{0});
+  ASSERT_EQ(c.sender_loads().size(), 2u);
+  ASSERT_EQ(c.receiver_loads().size(), 2u);
+  for (const auto& l : c.sender_loads()) EXPECT_EQ(l.unfinished_flows, 2);
+  for (const auto& l : c.receiver_loads()) EXPECT_EQ(l.unfinished_flows, 2);
+}
+
+TEST(CoflowState, TotalSentTracksAdvance) {
+  CoflowState c(two_by_two(), FlowId{0});
+  for (auto& f : c.flows()) f.set_rate(10.0);
+  c.advance_all(seconds(2));
+  EXPECT_DOUBLE_EQ(c.total_sent(), 80.0);  // 4 flows x 20 bytes
+  EXPECT_DOUBLE_EQ(c.max_flow_sent(), 20.0);
+  EXPECT_DOUBLE_EQ(c.total_remaining(), 320.0);
+}
+
+TEST(CoflowState, FlowCompletionUpdatesLoads) {
+  CoflowState c(two_by_two(), FlowId{0});
+  auto& f0 = c.flows()[0];  // 0 -> 2
+  f0.set_rate(100.0);
+  c.advance_all(seconds(1));
+  c.on_flow_complete(f0, seconds(1));
+  EXPECT_EQ(c.unfinished_flows(), 3);
+  EXPECT_FALSE(c.finished());
+  int port0 = -1;
+  for (const auto& l : c.sender_loads()) {
+    if (l.port == 0) port0 = l.unfinished_flows;
+  }
+  EXPECT_EQ(port0, 1);
+  ASSERT_EQ(c.finished_flow_lengths().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.finished_flow_lengths()[0], 100.0);
+}
+
+TEST(CoflowState, FinishesWhenLastFlowDone) {
+  CoflowState c(make_coflow(1, seconds(1), {{0, 1, 10}, {1, 0, 10}}), FlowId{0});
+  c.on_flow_complete(c.flows()[0], seconds(2));
+  EXPECT_FALSE(c.finished());
+  c.on_flow_complete(c.flows()[1], seconds(3));
+  EXPECT_TRUE(c.finished());
+  EXPECT_EQ(c.finish_time(), seconds(3));
+  EXPECT_EQ(c.completion_time(), seconds(2));  // 3 - arrival(1)
+}
+
+TEST(CoflowState, BottleneckSeconds) {
+  // Port 0 must push 200 bytes, port 1 only 100; at 100 B/s the bottleneck
+  // is 2 seconds.
+  CoflowState c(make_coflow(1, 0, {{0, 1, 100}, {0, 2, 100}}), FlowId{0});
+  EXPECT_DOUBLE_EQ(c.bottleneck_seconds(100.0), 2.0);
+}
+
+TEST(CoflowState, BottleneckOnReceiverSide) {
+  CoflowState c(make_coflow(1, 0, {{0, 2, 100}, {1, 2, 200}}), FlowId{0});
+  EXPECT_DOUBLE_EQ(c.bottleneck_seconds(100.0), 3.0);  // receiver 2: 300 bytes
+}
+
+TEST(CoflowState, RestartFlowsOnPort) {
+  CoflowState c(two_by_two(), FlowId{0});
+  for (auto& f : c.flows()) f.set_rate(10.0);
+  c.advance_all(seconds(1));
+  EXPECT_DOUBLE_EQ(c.total_sent(), 40.0);
+  const int restarted = c.restart_flows_on_port(0);
+  EXPECT_EQ(restarted, 2);  // the two flows sent from port 0
+  EXPECT_DOUBLE_EQ(c.total_sent(), 20.0);
+}
+
+TEST(JobSpec, ValidateRejectsForwardDeps) {
+  JobSpec job;
+  job.id = JobId{1};
+  job.stages.push_back({{{0, 1, 10}}, {1}});  // dep on a later stage
+  job.stages.push_back({{{1, 2, 10}}, {}});
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(JobSpec, ValidateRejectsEmptyStage) {
+  JobSpec job;
+  job.id = JobId{1};
+  job.stages.push_back({{}, {}});
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(JobTracker, LinearChainReleasesInOrder) {
+  JobSpec job;
+  job.id = JobId{1};
+  job.stages.push_back({{{0, 1, 10}}, {}});
+  job.stages.push_back({{{1, 2, 10}}, {0}});
+  job.stages.push_back({{{2, 3, 10}}, {1}});
+  JobTracker tracker(job);
+
+  auto ready = tracker.ready_stages();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 0);
+  tracker.mark_released(0);
+  EXPECT_TRUE(tracker.ready_stages().empty());
+
+  ready = tracker.mark_finished(0, seconds(1));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 1);
+  tracker.mark_released(1);
+  ready = tracker.mark_finished(1, seconds(2));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 2);
+  tracker.mark_released(2);
+  tracker.mark_finished(2, seconds(3));
+  EXPECT_TRUE(tracker.all_finished());
+  EXPECT_EQ(tracker.finish_time(), seconds(3));
+}
+
+TEST(JobTracker, DiamondDagWaitsForBothParents) {
+  JobSpec job;
+  job.id = JobId{2};
+  job.stages.push_back({{{0, 1, 10}}, {}});        // 0
+  job.stages.push_back({{{1, 2, 10}}, {}});        // 1
+  job.stages.push_back({{{2, 3, 10}}, {0, 1}});    // 2 needs both
+  JobTracker tracker(job);
+
+  auto ready = tracker.ready_stages();
+  EXPECT_EQ(ready.size(), 2u);
+  tracker.mark_released(0);
+  tracker.mark_released(1);
+  EXPECT_TRUE(tracker.mark_finished(0, seconds(1)).empty());
+  ready = tracker.mark_finished(1, seconds(2));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 2);
+}
+
+TEST(JobTracker, MakeCoflowStampsLinkage) {
+  JobSpec job;
+  job.id = JobId{3};
+  job.arrival = seconds(1);
+  job.stages.push_back({{{0, 1, 10}, {0, 2, 20}}, {}});
+  JobTracker tracker(job);
+  const auto spec = tracker.make_coflow(0, CoflowId{9}, seconds(4));
+  EXPECT_EQ(spec.id, CoflowId{9});
+  EXPECT_EQ(spec.arrival, seconds(4));
+  EXPECT_EQ(spec.job, JobId{3});
+  EXPECT_EQ(spec.stage, 0);
+  EXPECT_EQ(spec.width(), 2);
+}
+
+}  // namespace
+}  // namespace saath

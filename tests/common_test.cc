@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "common/units.h"
+
+namespace saath {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  CoflowId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(CoflowId{0}.valid());
+  EXPECT_TRUE(CoflowId{42}.valid());
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(CoflowId{1}, CoflowId{2});
+  EXPECT_EQ(FlowId{7}, FlowId{7});
+  EXPECT_NE(JobId{1}, JobId{2});
+}
+
+TEST(Ids, DistinctTypesHashIndependently) {
+  std::unordered_set<CoflowId> coflows{CoflowId{1}, CoflowId{2}, CoflowId{1}};
+  EXPECT_EQ(coflows.size(), 2u);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(msec(8), 8000);
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(msec(500)), 0.5);
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(kMB, 1'000'000);
+  EXPECT_EQ(100 * kMB, 100'000'000);
+  EXPECT_DOUBLE_EQ(gbps(1), 125e6);
+  EXPECT_DOUBLE_EQ(gbps(10), 1.25e9);
+}
+
+TEST(Stats, PercentileSingleValue) {
+  const std::vector<double> v{5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 1.4);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_DOUBLE_EQ(normalized_stddev(v), 0.4);
+}
+
+TEST(Stats, NormalizedStddevZeroMean) {
+  const std::vector<double> v{0, 0, 0};
+  EXPECT_DOUBLE_EQ(normalized_stddev(v), 0.0);
+}
+
+TEST(Stats, NormalizedStddevEqualValues) {
+  const std::vector<double> v{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(normalized_stddev(v), 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Stats, EmpiricalCdfEndsAtOne) {
+  std::vector<double> v{3, 1, 2};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 3.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+}
+
+TEST(Stats, EmpiricalCdfDownsamples) {
+  std::vector<double> v(10'000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const auto cdf = empirical_cdf(v, 100);
+  EXPECT_LE(cdf.size(), 102u);
+}
+
+TEST(Stats, FractionAtMost) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 10.0), 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(10.0, 1.5), 10.0);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng fork = parent.fork();
+  // The fork must not replay the parent's stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.uniform_int(0, 1'000'000) != fork.uniform_int(0, 1'000'000)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace saath

@@ -1,0 +1,200 @@
+// Property suites: the DESIGN.md §6 invariants, swept across random traces
+// (seeds) and every scheduler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <map>
+#include <set>
+
+#include "sched/aalo.h"
+#include "sched/factory.h"
+#include "sched/saath.h"
+#include "sim/engine.h"
+#include "test_util.h"
+#include "trace/synth.h"
+
+namespace saath {
+namespace {
+
+struct PropertyParam {
+  std::uint64_t seed;
+  const char* scheduler;
+};
+
+void PrintTo(const PropertyParam& p, std::ostream* os) {
+  *os << p.scheduler << "/seed" << p.seed;
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  [[nodiscard]] trace::Trace make() const {
+    return trace::synth_small_trace(8, 40, GetParam().seed);
+  }
+  [[nodiscard]] SimConfig config() const {
+    SimConfig cfg;
+    cfg.port_bandwidth = 1e6;
+    cfg.delta = msec(20);
+    cfg.check_capacity = true;  // invariant 2 enforced by the engine itself
+    return cfg;
+  }
+};
+
+// Invariants 1 + 2: every CoFlow completes, all bytes delivered, and (via
+// check_capacity) no port is ever overdrawn.
+TEST_P(SchedulerProperty, CompletesAndConservesBytes) {
+  const auto t = make();
+  auto sched = make_scheduler(GetParam().scheduler);
+  const auto result = simulate(t, *sched, config());
+  ASSERT_EQ(result.coflows.size(), t.coflows.size());
+  Bytes total = 0;
+  for (const auto& c : result.coflows) {
+    total += c.total_bytes;
+    EXPECT_GT(c.cct_seconds(), 0.0);
+    EXPECT_GE(c.arrival, 0);
+    EXPECT_GE(c.finish, c.arrival);
+  }
+  EXPECT_EQ(total, t.total_bytes());
+}
+
+// Invariant 6: same trace + same config => identical outcome.
+TEST_P(SchedulerProperty, Deterministic) {
+  const auto t = make();
+  auto s1 = make_scheduler(GetParam().scheduler);
+  auto s2 = make_scheduler(GetParam().scheduler);
+  const auto r1 = simulate(t, *s1, config());
+  const auto r2 = simulate(t, *s2, config());
+  ASSERT_EQ(r1.coflows.size(), r2.coflows.size());
+  for (std::size_t i = 0; i < r1.coflows.size(); ++i) {
+    EXPECT_EQ(r1.coflows[i].finish, r2.coflows[i].finish);
+  }
+}
+
+// CCT can never beat the physical lower bound: the CoFlow's bottleneck
+// time at full port bandwidth.
+TEST_P(SchedulerProperty, CctAtLeastBottleneckBound) {
+  const auto t = make();
+  auto sched = make_scheduler(GetParam().scheduler);
+  const auto cfg = config();
+  const auto result = simulate(t, *sched, cfg);
+  for (std::size_t i = 0; i < t.coflows.size(); ++i) {
+    CoflowState state(t.coflows[i], FlowId{0});
+    const double bound = state.bottleneck_seconds(cfg.port_bandwidth);
+    const auto* rec = result.find(t.coflows[i].id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GE(rec->cct_seconds(), bound - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerProperty,
+    ::testing::Values(
+        PropertyParam{1, "aalo"}, PropertyParam{2, "aalo"},
+        PropertyParam{3, "aalo"}, PropertyParam{1, "saath"},
+        PropertyParam{2, "saath"}, PropertyParam{3, "saath"},
+        PropertyParam{4, "saath"}, PropertyParam{1, "saath-an-fifo"},
+        PropertyParam{2, "saath-an-fifo"}, PropertyParam{1, "saath-an-pf-fifo"},
+        PropertyParam{2, "saath-an-pf-fifo"}, PropertyParam{1, "scf"},
+        PropertyParam{2, "scf"}, PropertyParam{1, "srtf"},
+        PropertyParam{2, "srtf"}, PropertyParam{1, "lwtf"},
+        PropertyParam{2, "lwtf"}, PropertyParam{1, "sebf"},
+        PropertyParam{2, "sebf"}, PropertyParam{1, "uc-tcp"},
+        PropertyParam{2, "uc-tcp"}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name = info.param.scheduler;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+// Invariant 3: in Saath's primary pass (work conservation off), every
+// scheduled CoFlow has all unfinished flows at one equal positive rate.
+class SaathInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SaathInvariant, AllOrNoneEqualRatesEveryEpoch) {
+  const auto t = trace::synth_small_trace(8, 30, GetParam());
+  SaathConfig cfg;
+  cfg.work_conservation = false;
+
+  // Wrap Saath to observe rates immediately after every schedule() call.
+  class Observer final : public Scheduler {
+   public:
+    explicit Observer(SaathConfig cfg) : inner_(cfg) {}
+    std::string name() const override { return inner_.name(); }
+    void schedule(SimTime now, std::span<CoflowState* const> active,
+                  Fabric& fabric) override {
+      inner_.schedule(now, active, fabric);
+      for (const CoflowState* c : active) {
+        std::set<long> rates;
+        bool any_positive = false;
+        for (const auto& f : c->flows()) {
+          if (f.finished()) continue;
+          if (f.rate() > 0) any_positive = true;
+          rates.insert(std::lround(f.rate() * 1e6));
+        }
+        if (any_positive) {
+          EXPECT_EQ(rates.size(), 1u)
+              << "coflow " << c->id().value << " has unequal rates";
+        }
+      }
+    }
+    SaathScheduler inner_;
+  };
+
+  Observer observer(cfg);
+  SimConfig sim;
+  sim.port_bandwidth = 1e6;
+  sim.delta = msec(20);
+  const auto result = simulate(t, observer, sim);
+  EXPECT_EQ(result.coflows.size(), t.coflows.size());
+}
+
+// Invariant 5: finite deadlines guarantee completion even under adversarial
+// contention (here: heavy load via compressed arrivals).
+TEST_P(SaathInvariant, NoStarvationUnderLoad) {
+  auto t = trace::synth_small_trace(6, 40, GetParam());
+  t = t.scaled_arrivals(10.0);  // 10x faster arrivals -> heavy contention
+  SaathScheduler sched;         // d = 2
+  SimConfig sim;
+  sim.port_bandwidth = 1e6;
+  sim.delta = msec(20);
+  const auto result = simulate(t, sched, sim);
+  EXPECT_EQ(result.coflows.size(), t.coflows.size());
+}
+
+// Aalo invariant 4: queue index never decreases across a run.
+TEST_P(SaathInvariant, AaloQueueMonotonicity) {
+  const auto t = trace::synth_small_trace(8, 30, GetParam());
+
+  class MonotonicityObserver final : public Scheduler {
+   public:
+    std::string name() const override { return inner_.name(); }
+    void schedule(SimTime now, std::span<CoflowState* const> active,
+                  Fabric& fabric) override {
+      inner_.schedule(now, active, fabric);
+      for (const CoflowState* c : active) {
+        auto [it, inserted] = last_queue_.try_emplace(c->id(), c->queue_index);
+        if (!inserted) {
+          EXPECT_GE(c->queue_index, it->second);
+          it->second = c->queue_index;
+        }
+      }
+    }
+    AaloScheduler inner_;
+    std::map<CoflowId, int> last_queue_;
+  };
+
+  MonotonicityObserver observer;
+  SimConfig sim;
+  sim.port_bandwidth = 1e5;  // slow ports -> multiple queue transitions
+  sim.delta = msec(20);
+  const auto result = simulate(t, observer, sim);
+  EXPECT_EQ(result.coflows.size(), t.coflows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaathInvariant,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace saath

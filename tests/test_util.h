@@ -1,0 +1,62 @@
+// Shared helpers for building small deterministic scenarios in tests.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "sim/engine.h"
+#include "trace/trace.h"
+
+namespace saath::testing {
+
+/// Builds a CoflowSpec from (src, dst, bytes) triples.
+inline CoflowSpec make_coflow(std::int64_t id, SimTime arrival,
+                              std::initializer_list<FlowSpec> flows) {
+  CoflowSpec c;
+  c.id = CoflowId{id};
+  c.arrival = arrival;
+  c.flows = flows;
+  return c;
+}
+
+inline trace::Trace make_trace(int num_ports,
+                               std::vector<CoflowSpec> coflows) {
+  trace::Trace t;
+  t.name = "test";
+  t.num_ports = num_ports;
+  t.coflows = std::move(coflows);
+  t.normalize();
+  return t;
+}
+
+/// A fabric-friendly config: 100 bytes/sec ports and 1 s epochs make the
+/// toy-figure scenarios exact integer arithmetic.
+inline SimConfig toy_config() {
+  SimConfig cfg;
+  cfg.port_bandwidth = 100.0;  // bytes/sec
+  cfg.delta = msec(100);
+  return cfg;
+}
+
+/// CoflowState wrapper for scheduler-level unit tests (no engine).
+class StateSet {
+ public:
+  void add(const CoflowSpec& spec) {
+    std::int64_t first = 0;
+    for (const auto& s : states_) first += s->width();
+    states_.push_back(std::make_unique<CoflowState>(spec, FlowId{first}));
+    ptrs_.push_back(states_.back().get());
+  }
+
+  [[nodiscard]] std::span<CoflowState* const> active() const { return ptrs_; }
+  [[nodiscard]] CoflowState& at(std::size_t i) { return *states_[i]; }
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<CoflowState>> states_;
+  std::vector<CoflowState*> ptrs_;
+};
+
+}  // namespace saath::testing
