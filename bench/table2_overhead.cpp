@@ -4,6 +4,14 @@
 // rest spent assigning work-conservation rates. This google-benchmark
 // binary measures our coordinator on synthetic busy snapshots of varying
 // CoFlow population, and prints the same phase breakdown.
+//
+// The order phase is reported twice: BM_SaathSchedule reads LCoF keys from
+// the incremental spatial::SpatialIndex (the default), while
+// BM_SaathScheduleRebuild reruns the compute_contention_grouped batch
+// oracle every round (the pre-index behavior whenever any event dirtied
+// the cache). Compare the `order_us` counters at the same population —
+// the incremental path is the Table 2 claim that coordinator cost stays
+// flat as concurrency grows.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -14,6 +22,8 @@
 #include "sched/aalo.h"
 #include "sched/contention.h"
 #include "sched/saath.h"
+#include "sim/engine.h"
+#include "spatial/contention.h"
 #include "trace/synth.h"
 
 namespace saath {
@@ -47,17 +57,7 @@ struct Snapshot {
   }
 };
 
-void BM_SaathSchedule(benchmark::State& state) {
-  Snapshot snap(static_cast<int>(state.range(0)), 7);
-  SaathScheduler sched;
-  Fabric fabric(150, gbps(1));
-  SimTime now = 0;
-  for (auto _ : state) {
-    fabric.reset();
-    sched.schedule(now, snap.active, fabric);
-    now += msec(8);
-  }
-  const auto& st = sched.phase_stats();
+void report_phases(benchmark::State& state, const SaathPhaseStats& st) {
   state.counters["order_us"] =
       static_cast<double>(st.order_ns) / 1e3 / static_cast<double>(st.rounds);
   state.counters["admit_us"] =
@@ -65,7 +65,34 @@ void BM_SaathSchedule(benchmark::State& state) {
   state.counters["conserve_us"] = static_cast<double>(st.conserve_ns) / 1e3 /
                                   static_cast<double>(st.rounds);
 }
-BENCHMARK(BM_SaathSchedule)->Arg(50)->Arg(200)->Arg(500);
+
+void run_saath_snapshot(benchmark::State& state, const SaathConfig& cfg) {
+  Snapshot snap(static_cast<int>(state.range(0)), 7);
+  SaathScheduler sched(cfg);
+  Fabric fabric(150, gbps(1));
+  SimTime now = 0;
+  for (auto _ : state) {
+    fabric.reset();
+    sched.schedule(now, snap.active, fabric);
+    now += msec(8);
+  }
+  report_phases(state, sched.phase_stats());
+}
+
+/// Order phase fed by the incremental SpatialIndex (production default).
+void BM_SaathSchedule(benchmark::State& state) {
+  run_saath_snapshot(state, SaathConfig{});
+}
+BENCHMARK(BM_SaathSchedule)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+/// Order phase rebuilding k_c from the batch oracle every round — what the
+/// coordinator paid per dirtied epoch before the spatial index existed.
+void BM_SaathScheduleRebuild(benchmark::State& state) {
+  SaathConfig cfg;
+  cfg.incremental_spatial = false;
+  run_saath_snapshot(state, cfg);
+}
+BENCHMARK(BM_SaathScheduleRebuild)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
 
 void BM_AaloSchedule(benchmark::State& state) {
   Snapshot snap(static_cast<int>(state.range(0)), 7);
@@ -86,7 +113,65 @@ void BM_ContentionComputation(benchmark::State& state) {
     benchmark::DoNotOptimize(compute_contention(snap.active, 150));
   }
 }
-BENCHMARK(BM_ContentionComputation)->Arg(50)->Arg(200)->Arg(500);
+BENCHMARK(BM_ContentionComputation)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+/// Per-event cost of the incremental index under churn: one CoFlow leaves
+/// and rejoins (the arrival + completion delta pair), plus a queue move —
+/// the work the coordinator actually does per event instead of a rebuild.
+void BM_SpatialIndexChurn(benchmark::State& state) {
+  Snapshot snap(static_cast<int>(state.range(0)), 11);
+  spatial::SpatialIndex index;
+  for (const CoflowState* c : snap.active) {
+    index.add_coflow(*c, c->queue_index);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    CoflowState* c = snap.active[i % snap.active.size()];
+    index.remove_coflow(c->id());
+    index.add_coflow(*c, c->queue_index);
+    index.set_group(c->id(), (c->queue_index + 1) % 10);
+    index.set_group(c->id(), c->queue_index);
+    benchmark::DoNotOptimize(index.contention(c->id()));
+    ++i;
+  }
+}
+BENCHMARK(BM_SpatialIndexChurn)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+/// End-to-end coordinator cost over a full busy FB-scale engine run:
+/// exercises the event-driven deltas (arrivals/completions) and the
+/// quiescent-epoch skip rather than a frozen snapshot.
+void BM_SaathEngineRun(benchmark::State& state) {
+  trace::SynthConfig cfg;
+  cfg.num_ports = 150;
+  cfg.num_coflows = 526;
+  cfg.seed = 7;
+  const auto trace = synth_fb_trace(cfg);
+  const bool incremental = state.range(0) == 1;
+  std::int64_t rounds = 0;
+  std::int64_t order_ns = 0;
+  for (auto _ : state) {
+    SaathConfig scfg;
+    scfg.incremental_spatial = incremental;
+    SaathScheduler sched(scfg);
+    SimConfig sim;
+    sim.port_bandwidth = gbps(1);
+    sim.delta = msec(8);
+    sim.skip_quiescent_epochs = incremental;
+    Engine engine(trace, sched, sim);
+    benchmark::DoNotOptimize(engine.run());
+    rounds += sched.phase_stats().rounds;
+    order_ns += sched.phase_stats().order_ns;
+  }
+  state.counters["order_us"] =
+      static_cast<double>(order_ns) / 1e3 / static_cast<double>(rounds);
+  state.counters["rounds"] = static_cast<double>(rounds) /
+                             static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SaathEngineRun)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("incremental");
 
 }  // namespace
 }  // namespace saath

@@ -44,7 +44,8 @@ int main() {
     }
   });
 
-  engine.run();
-  std::printf("query completed at t=%.3fs\n", to_seconds(tracker.finish_time()));
+  const auto result = engine.run();
+  std::printf("ran %zu coflows; query completed at t=%.3fs\n",
+              result.coflows.size(), to_seconds(tracker.finish_time()));
   return 0;
 }

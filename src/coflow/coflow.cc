@@ -67,15 +67,23 @@ void add_load(std::vector<PortLoad>& loads, PortIndex port) {
   loads.push_back({port, 1});
 }
 
-void drop_load(std::vector<PortLoad>& loads, PortIndex port) {
+/// Decrements the port's load; returns the count left on that slot.
+int drop_load(std::vector<PortLoad>& loads, PortIndex port) {
   for (auto& l : loads) {
     if (l.port == port) {
       SAATH_EXPECTS(l.unfinished_flows > 0);
-      --l.unfinished_flows;
-      return;
+      return --l.unfinished_flows;
     }
   }
   SAATH_EXPECTS(false && "port not found in load list");
+  return 0;
+}
+
+int load_on(std::span<const PortLoad> loads, PortIndex port) {
+  for (const auto& l : loads) {
+    if (l.port == port) return l.unfinished_flows;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -156,15 +164,26 @@ int CoflowState::restart_flows_on_port(PortIndex port) {
   return restarted;
 }
 
-void CoflowState::on_flow_complete(FlowState& flow, SimTime now) {
+int CoflowState::unfinished_on_sender(PortIndex port) const {
+  return load_on(senders_, port);
+}
+
+int CoflowState::unfinished_on_receiver(PortIndex port) const {
+  return load_on(receivers_, port);
+}
+
+OccupancyDelta CoflowState::on_flow_complete(FlowState& flow, SimTime now) {
   SAATH_EXPECTS(!flow.finished());
   total_sent_ += flow.remaining();
   flow.complete(now);
-  drop_load(senders_, flow.src());
-  drop_load(receivers_, flow.dst());
+  OccupancyDelta delta;
+  delta.sender_freed = drop_load(senders_, flow.src()) == 0;
+  delta.receiver_freed = drop_load(receivers_, flow.dst()) == 0;
   finished_lengths_.push_back(flow.size());
+  ++occupancy_version_;
   --unfinished_;
   if (unfinished_ == 0) finish_time_ = now;
+  return delta;
 }
 
 }  // namespace saath

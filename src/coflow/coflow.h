@@ -82,6 +82,14 @@ struct PortLoad {
   int unfinished_flows = 0;
 };
 
+/// Port memberships released by a flow completion — the delta an
+/// occupancy consumer (spatial::SpatialIndex) needs, without rescanning
+/// the full load lists.
+struct OccupancyDelta {
+  bool sender_freed = false;
+  bool receiver_freed = false;
+};
+
 /// Mutable per-CoFlow simulation state. Owns its FlowStates.
 class CoflowState {
  public:
@@ -112,6 +120,18 @@ class CoflowState {
   [[nodiscard]] std::span<const PortLoad> sender_loads() const { return senders_; }
   [[nodiscard]] std::span<const PortLoad> receiver_loads() const { return receivers_; }
 
+  /// Unfinished flows on one specific port slot (0 when the CoFlow never
+  /// touched the port).
+  [[nodiscard]] int unfinished_on_sender(PortIndex port) const;
+  [[nodiscard]] int unfinished_on_receiver(PortIndex port) const;
+
+  /// Bumped on every port-occupancy change (currently: each flow
+  /// completion). Incremental consumers compare it against the version they
+  /// indexed to detect state mutated behind their back.
+  [[nodiscard]] std::uint64_t occupancy_version() const {
+    return occupancy_version_;
+  }
+
   /// Bottleneck time at full port bandwidth over remaining bytes — the SEBF
   /// metric Γ (max over ports of remaining port bytes / bandwidth).
   [[nodiscard]] double bottleneck_seconds(Rate port_bandwidth) const;
@@ -119,7 +139,8 @@ class CoflowState {
   /// Engine hooks --------------------------------------------------------
   void advance_all(SimTime dt);
   /// Completes `flow` at `now`, updating port loads and finish bookkeeping.
-  void on_flow_complete(FlowState& flow, SimTime now);
+  /// Reports which of the flow's two port memberships dropped to zero.
+  OccupancyDelta on_flow_complete(FlowState& flow, SimTime now);
   /// Node failure on `port`: restarts every unfinished flow touching it.
   /// Returns the number of flows restarted.
   int restart_flows_on_port(PortIndex port);
@@ -148,6 +169,7 @@ class CoflowState {
   std::vector<double> finished_lengths_;
   double total_sent_ = 0;
   int unfinished_ = 0;
+  std::uint64_t occupancy_version_ = 0;
   SimTime finish_time_ = kNever;
 };
 

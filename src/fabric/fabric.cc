@@ -27,6 +27,9 @@ void Fabric::reset() {
 void Fabric::set_port_capacity_factor(PortIndex p, double factor) {
   check_port(p);
   SAATH_EXPECTS(factor >= 0.0 && factor <= 1.0);
+  if (capacity_factor_[static_cast<std::size_t>(p)] != factor) {
+    ++capacity_version_;
+  }
   capacity_factor_[static_cast<std::size_t>(p)] = factor;
 }
 

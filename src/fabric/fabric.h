@@ -7,6 +7,7 @@
 // scheduling epoch.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -49,6 +50,13 @@ class Fabric {
   /// Sum of allocated (not remaining) bandwidth across sender uplinks.
   [[nodiscard]] Rate total_allocated() const;
 
+  /// Bumped whenever any port's effective capacity changes (stragglers,
+  /// §4.3). Consumers caching capacity-derived state compare versions
+  /// instead of rescanning every port.
+  [[nodiscard]] std::uint64_t capacity_version() const {
+    return capacity_version_;
+  }
+
   /// Rounding slack used by all schedulers when comparing rates to zero.
   static constexpr Rate kRateEpsilon = 1e-6;
 
@@ -57,6 +65,7 @@ class Fabric {
 
   int num_ports_;
   Rate port_bandwidth_;
+  std::uint64_t capacity_version_ = 0;
   std::vector<double> capacity_factor_;
   std::vector<Rate> send_remaining_;
   std::vector<Rate> recv_remaining_;

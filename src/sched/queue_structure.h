@@ -8,7 +8,9 @@
 // that produces the fast queue transition of Fig 5).
 #pragma once
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/expect.h"
 #include "common/units.h"
@@ -50,6 +52,56 @@ class QueueStructure {
 
  private:
   QueueConfig config_;
+};
+
+/// Incremental per-queue population. The starvation deadline d·C_q·t needs
+/// C_q, the population of the queue a CoFlow just entered; recounting every
+/// active CoFlow on every entry is O(active) per event, so consumers apply
+/// the queue-change deltas they already know about (arrival, queue move,
+/// completion) and read counts in O(1).
+class QueuePopulation {
+ public:
+  explicit QueuePopulation(int num_queues)
+      : count_(static_cast<std::size_t>(num_queues), 0) {
+    SAATH_EXPECTS(num_queues >= 1);
+  }
+
+  void add(int queue) {
+    ++count_[checked(queue)];
+    ++total_;
+  }
+  void remove(int queue) {
+    SAATH_EXPECTS(count_[checked(queue)] > 0);
+    --count_[checked(queue)];
+    --total_;
+  }
+  void move(int from, int to) {
+    if (from == to) return;
+    remove(from);
+    add(to);
+  }
+
+  [[nodiscard]] int count(int queue) const {
+    return count_[checked(queue)];
+  }
+  /// Tracked CoFlows across all queues; consumers compare against their
+  /// active-set size to detect membership drift and rebuild.
+  [[nodiscard]] int total() const { return total_; }
+
+  void clear() {
+    std::fill(count_.begin(), count_.end(), 0);
+    total_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t checked(int queue) const {
+    SAATH_EXPECTS(queue >= 0 &&
+                  queue < static_cast<int>(count_.size()));
+    return static_cast<std::size_t>(queue);
+  }
+
+  std::vector<int> count_;
+  int total_ = 0;
 };
 
 }  // namespace saath

@@ -37,7 +37,9 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 SaathScheduler::SaathScheduler(SaathConfig config)
-    : config_(config), queues_(config.queues) {}
+    : config_(config),
+      queues_(config.queues),
+      queue_population_(config.queues.num_queues) {}
 
 std::string SaathScheduler::name() const {
   if (config_.all_or_none && config_.per_flow_threshold && config_.lcof) {
@@ -66,27 +68,73 @@ double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow) {
 }
 
 void SaathScheduler::on_coflow_arrival(CoflowState& coflow, SimTime now) {
-  (void)coflow;
   (void)now;
-  contention_dirty_ = true;
+  if (queue_tracked_.insert(coflow.id()).second) {
+    queue_population_.add(coflow.queue_index);
+  }
+  if (!tracks_index()) return;
+  // The arrival's queue is assigned at the next schedule(); grouping it
+  // under its current (default) queue keeps the index exact in between.
+  if (!spatial_.contains(coflow.id())) {
+    spatial_.add_coflow(coflow, coflow.queue_index);
+  }
 }
 
 void SaathScheduler::on_flow_complete(CoflowState& coflow, FlowState& flow,
                                       SimTime now) {
-  (void)coflow;
-  (void)flow;
   (void)now;
-  contention_dirty_ = true;
+  if (!tracks_index() || !spatial_.contains(coflow.id())) return;
+  spatial_.on_flow_complete(coflow, flow);
 }
 
 void SaathScheduler::on_coflow_complete(CoflowState& coflow, SimTime now) {
   (void)now;
-  contention_cache_.erase(coflow.id());
-  contention_dirty_ = true;
+  if (queue_tracked_.erase(coflow.id()) > 0) {
+    queue_population_.remove(coflow.queue_index);
+  }
+  if (!tracks_index() || !spatial_.contains(coflow.id())) return;
+  spatial_.remove_coflow(coflow.id());
 }
 
-bool SaathScheduler::assign_queues_and_deadlines(
+void SaathScheduler::sync_spatial(std::span<CoflowState* const> active) {
+  for (CoflowState* c : active) {
+    if (!spatial_.contains(c->id())) {
+      spatial_.add_coflow(*c, c->queue_index);
+    } else if (!spatial_.in_sync(*c)) {
+      // Occupancy mutated without our hooks seeing it (snapshot tests,
+      // manual CoflowState drives): re-index this CoFlow from its loads.
+      spatial_.remove_coflow(c->id());
+      spatial_.add_coflow(*c, c->queue_index);
+    }
+  }
+  if (spatial_.size() != active.size()) {
+    // Stale entries for CoFlows no longer active: rebuild wholesale.
+    spatial_.clear();
+    for (CoflowState* c : active) spatial_.add_coflow(*c, c->queue_index);
+  }
+}
+
+void SaathScheduler::assign_queues_and_deadlines(
     SimTime now, std::span<CoflowState* const> active, Rate port_bandwidth) {
+  // Direct-schedule callers (benchmarks, scheduler-level tests) never fire
+  // the lifecycle hooks; rebuild the population from scratch when the
+  // tracked membership drifted from the active set. Cardinality alone is
+  // not enough — an equal-size set with different members would corrupt
+  // the per-queue counts.
+  bool rebuild = queue_population_.total() != static_cast<int>(active.size());
+  for (const CoflowState* c : active) {
+    if (rebuild) break;
+    rebuild = !queue_tracked_.contains(c->id());
+  }
+  if (rebuild) {
+    queue_population_.clear();
+    queue_tracked_.clear();
+    for (const CoflowState* c : active) {
+      queue_tracked_.insert(c->id());
+      queue_population_.add(c->queue_index);
+    }
+  }
+
   std::vector<CoflowState*> entered;  // CoFlows needing a fresh deadline
   for (CoflowState* c : active) {
     int q;
@@ -104,30 +152,25 @@ bool SaathScheduler::assign_queues_and_deadlines(
     }
     const bool fresh = c->deadline == kNever && config_.deadline_factor > 0;
     if (q != c->queue_index || fresh) {
+      queue_population_.move(c->queue_index, q);
       c->queue_index = q;
       c->queue_entered_at = now;
       entered.push_back(c);
     }
   }
-  const bool any_change = !entered.empty();
 
-  if (config_.deadline_factor <= 0 || entered.empty()) return any_change;
-  // D5: deadline = d * C_q * t, where C_q is the queue's population and t
-  // its minimum residence time — the FIFO drain-time bound.
-  std::vector<int> queue_count(static_cast<std::size_t>(queues_.num_queues()), 0);
-  for (const CoflowState* c : active) {
-    ++queue_count[static_cast<std::size_t>(c->queue_index)];
-  }
+  if (config_.deadline_factor <= 0 || entered.empty()) return;
+  // D5: deadline = d * C_q * t, where C_q is the queue's population (read
+  // from the delta-maintained tracker) and t its minimum residence time —
+  // the FIFO drain-time bound.
   for (CoflowState* c : entered) {
-    const int population =
-        queue_count[static_cast<std::size_t>(c->queue_index)];
+    const int population = queue_population_.count(c->queue_index);
     const double t_q =
         queues_.min_residence_seconds(c->queue_index, port_bandwidth);
     c->deadline =
         now + static_cast<SimTime>(config_.deadline_factor * population * t_q *
                                    1e6);
   }
-  return any_change;
 }
 
 bool SaathScheduler::all_ports_available(const CoflowState& c,
@@ -176,26 +219,27 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
   const auto t0 = Clock::now();
 
   zero_rates(active);
-  const bool queues_changed =
-      assign_queues_and_deadlines(now, active, fabric.port_bandwidth());
+  assign_queues_and_deadlines(now, active, fabric.port_bandwidth());
 
-  if (config_.lcof && (contention_dirty_ || queues_changed ||
-                       contention_cache_.size() != active.size())) {
-    // LCoF ranks within a queue, so k_c counts same-queue competitors.
-    // Port occupancy and queue membership only change on arrivals,
-    // completions and threshold crossings; between those events the cached
-    // ordering stays valid, which keeps busy-period epochs cheap.
-    std::vector<int> queue_of(active.size());
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      queue_of[i] = active[i]->queue_index;
+  // LCoF ranks within a queue, so k_c counts same-queue competitors. The
+  // incremental path reads the event-maintained spatial index (arrivals,
+  // completions and queue moves each applied an O(delta) update); the
+  // reference path rebuilds k_c from the batch oracle every round.
+  std::vector<int> oracle_contention;
+  if (config_.lcof) {
+    if (tracks_index()) {
+      sync_spatial(active);
+      for (CoflowState* c : active) {
+        spatial_.set_group(c->id(), c->queue_index);
+      }
+    } else {
+      std::vector<int> queue_of(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        queue_of[i] = active[i]->queue_index;
+      }
+      oracle_contention =
+          compute_contention_grouped(active, fabric.num_ports(), queue_of);
     }
-    const auto contention =
-        compute_contention_grouped(active, fabric.num_ports(), queue_of);
-    contention_cache_.clear();
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      contention_cache_.emplace(active[i]->id(), contention[i]);
-    }
-    contention_dirty_ = false;
   }
 
   // Order: queue asc, then deadline-expired CoFlows (earliest deadline
@@ -213,9 +257,14 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
     CoflowState* c = active[i];
     const bool expired = config_.deadline_factor > 0 && c->deadline != kNever &&
                          c->deadline <= now;
-    const std::int64_t key =
-        config_.lcof ? contention_cache_.at(c->id())
-                     : static_cast<std::int64_t>(c->arrival());
+    std::int64_t key;
+    if (!config_.lcof) {
+      key = static_cast<std::int64_t>(c->arrival());
+    } else if (tracks_index()) {
+      key = spatial_.contention(c->id());
+    } else {
+      key = oracle_contention[i];
+    }
     order.push_back({c, c->queue_index, expired, c->deadline, key});
   }
   std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
@@ -266,6 +315,60 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
     }
   }
   stats_.conserve_ns += ns_since(t2);
+}
+
+SimTime SaathScheduler::schedule_valid_until(
+    SimTime now, std::span<CoflowState* const> active) const {
+  // With no delta, the ordering inputs (queue index, contention, expired
+  // set) drift only through (a) queue-threshold crossings as flows send at
+  // their current fixed rates and (b) starvation deadlines expiring. Both
+  // are exactly predictable in the fluid model; return the earliest,
+  // floored to the µs grid so we never recompute late. No trigger at all
+  // means the assignment stands until the next delta (int64 max, NOT
+  // kNever: kNever is -1 and would read as "already stale").
+  SimTime until = std::numeric_limits<SimTime>::max();
+  for (const CoflowState* c : active) {
+    if (config_.dynamics_srtf && c->dynamics_flagged &&
+        !c->finished_flow_lengths().empty()) {
+      // §4.3 estimate path: m_c shrinks continuously with sent bytes, so
+      // the queue can change any epoch — never skip while it is in play.
+      return now;
+    }
+    double cross_seconds = std::numeric_limits<double>::infinity();
+    if (config_.per_flow_threshold) {
+      // max_flow_sent crosses the per-flow bound when the first flow does.
+      const double bound =
+          queues_.hi_threshold(c->queue_index) / c->width();
+      if (std::isfinite(bound)) {
+        for (const auto& f : c->flows()) {
+          if (f.finished() || f.rate() <= 0 || f.sent() >= bound) continue;
+          cross_seconds = std::min(cross_seconds, (bound - f.sent()) / f.rate());
+        }
+      }
+    } else {
+      const double bound = queues_.hi_threshold(c->queue_index);
+      if (std::isfinite(bound)) {
+        double total_rate = 0;
+        for (const auto& f : c->flows()) {
+          if (!f.finished()) total_rate += f.rate();
+        }
+        if (total_rate > 0) {
+          cross_seconds = (bound - c->total_sent()) / total_rate;
+        }
+      }
+    }
+    // 9e11 s ≈ 28k years of simulated time: beyond that treat the crossing
+    // as never (and keep the µs conversion clear of int64 overflow).
+    if (cross_seconds < 9e11) {
+      const auto dt = static_cast<SimTime>(std::max(0.0, cross_seconds) * 1e6);
+      until = std::min(until, now + dt);
+    }
+    if (config_.deadline_factor > 0 && c->deadline != kNever &&
+        c->deadline > now) {
+      until = std::min(until, c->deadline);
+    }
+  }
+  return until;
 }
 
 }  // namespace saath

@@ -24,10 +24,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "sched/queue_structure.h"
 #include "sim/scheduler.h"
+#include "spatial/contention.h"
 
 namespace saath {
 
@@ -47,6 +49,11 @@ struct SaathConfig {
   bool dynamics_srtf = true;
   /// §4.3 pipelining: skip CoFlows whose data is not yet available.
   bool respect_data_availability = true;
+  /// Feed LCoF from the event-driven spatial::SpatialIndex (Table 2's
+  /// incremental order phase). Off = rebuild k_c from the
+  /// compute_contention_grouped oracle every round — kept as the reference
+  /// implementation the property suite compares against.
+  bool incremental_spatial = true;
 };
 
 /// Wall-clock cost of each coordinator phase, accumulated across rounds —
@@ -73,11 +80,26 @@ class SaathScheduler final : public Scheduler {
                 Fabric& fabric) override;
 
   /// Port-occupancy (and hence contention) only changes on these events;
-  /// the LCoF ordering is cached between them.
+  /// each applies an O(delta) update to the spatial index instead of
+  /// invalidating a whole-schedule cache.
   void on_coflow_arrival(CoflowState& coflow, SimTime now) override;
   void on_flow_complete(CoflowState& coflow, FlowState& flow,
                         SimTime now) override;
   void on_coflow_complete(CoflowState& coflow, SimTime now) override;
+
+  /// Earliest time-only trigger that can reorder the schedule with no delta:
+  /// a queue-threshold crossing at current rates or a starvation deadline
+  /// expiring. Lets the engine skip quiescent epochs (§4 Table 2: the
+  /// coordinator only works when the spatial state moved).
+  [[nodiscard]] SimTime schedule_valid_until(
+      SimTime now, std::span<CoflowState* const> active) const override;
+
+  /// The incremental spatial-occupancy index feeding LCoF (tests compare it
+  /// against the batch oracle). Meaningful only with
+  /// config().lcof && config().incremental_spatial.
+  [[nodiscard]] const spatial::SpatialIndex& spatial_index() const {
+    return spatial_;
+  }
 
   /// Exposed for tests: the §4.3 remaining-work estimate m_c (median
   /// finished length minus bytes sent, maxed over unfinished flows).
@@ -85,9 +107,10 @@ class SaathScheduler final : public Scheduler {
       const CoflowState& coflow);
 
  private:
-  /// Returns true when any CoFlow changed queue (invalidates the
-  /// same-queue contention cache).
-  bool assign_queues_and_deadlines(SimTime now,
+  /// Re-buckets every CoFlow (Eq. 1 / total-bytes / §4.3 estimate),
+  /// applying queue moves as deltas to queue_population_, and stamps D5
+  /// deadlines for CoFlows that entered a queue.
+  void assign_queues_and_deadlines(SimTime now,
                                    std::span<CoflowState* const> active,
                                    Rate port_bandwidth);
   [[nodiscard]] bool all_ports_available(const CoflowState& c,
@@ -96,12 +119,25 @@ class SaathScheduler final : public Scheduler {
   /// over its ports); consumes fabric budget. Returns the rate.
   Rate allocate_equal_rate(CoflowState& c, Fabric& fabric) const;
 
+  /// True when the spatial index is the live LCoF source.
+  [[nodiscard]] bool tracks_index() const {
+    return config_.lcof && config_.incremental_spatial;
+  }
+  /// Brings the index in line with `active`: adds CoFlows the lifecycle
+  /// hooks never saw (snapshot/bench use), refreshes any whose occupancy
+  /// mutated behind the index's back, rebuilds wholesale on set mismatch.
+  void sync_spatial(std::span<CoflowState* const> active);
+
   SaathConfig config_;
   QueueStructure queues_;
   SaathPhaseStats stats_;
-  /// LCoF cache: k_c per CoFlow id, valid until contention_dirty_.
-  std::unordered_map<CoflowId, int> contention_cache_;
-  bool contention_dirty_ = true;
+  /// Event-maintained spatial state: per-port occupancy + per-CoFlow k_c.
+  spatial::SpatialIndex spatial_;
+  /// Per-queue population C_q for the D5 deadline, maintained by the same
+  /// deltas (arrival, queue move, completion) instead of recounted.
+  QueuePopulation queue_population_;
+  /// CoFlows counted in queue_population_ (guards unpaired hook calls).
+  std::unordered_set<CoflowId> queue_tracked_;
 };
 
 }  // namespace saath

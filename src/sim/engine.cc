@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "common/expect.h"
 #include "common/logging.h"
@@ -59,6 +60,7 @@ void Engine::admit_arrivals() {
     active_.push_back(state.get());
     scheduler_.on_coflow_arrival(*state, now_);
     all_coflows_.push_back(std::move(state));
+    schedule_dirty_ = true;
   }
   // Flip data-availability gates whose release time has passed.
   for (CoflowState* c : active_) {
@@ -66,6 +68,7 @@ void Engine::admit_arrivals() {
     const auto it = data_available_at_.find(c->id());
     if (it == data_available_at_.end() || it->second <= now_) {
       c->data_available = true;
+      schedule_dirty_ = true;
     }
   }
 }
@@ -74,6 +77,7 @@ void Engine::process_dynamics() {
   while (next_dynamics_ < dynamics_.size() &&
          dynamics_[next_dynamics_].time <= now_) {
     const DynamicsEvent& ev = dynamics_[next_dynamics_++];
+    schedule_dirty_ = true;
     switch (ev.kind) {
       case DynamicsEvent::Kind::kNodeFailure:
         for (CoflowState* c : active_) {
@@ -118,6 +122,9 @@ void Engine::compute_schedule() {
     for (auto& f : c->flows()) f.set_rate(0);
   }
   if (config_.check_capacity) verify_capacity();
+  schedule_dirty_ = false;
+  schedule_valid_until_ = scheduler_.schedule_valid_until(now_, active_);
+  scheduled_capacity_version_ = fabric_.capacity_version();
 }
 
 void Engine::verify_capacity() const {
@@ -134,10 +141,19 @@ void Engine::verify_capacity() const {
   for (PortIndex p = 0; p < fabric_.num_ports(); ++p) {
     const Rate cap_s = fabric_.send_capacity(p) * (1.0 + 1e-6) + 1e-6;
     const Rate cap_r = fabric_.recv_capacity(p) * (1.0 + 1e-6) + 1e-6;
-    if (send[static_cast<std::size_t>(p)] > cap_s ||
-        recv[static_cast<std::size_t>(p)] > cap_r) {
-      throw std::logic_error("scheduler '" + scheduler_.name() +
-                             "' overdrew port " + std::to_string(p));
+    const bool over_send = send[static_cast<std::size_t>(p)] > cap_s;
+    const bool over_recv = recv[static_cast<std::size_t>(p)] > cap_r;
+    if (over_send || over_recv) {
+      const char* dir = over_send ? "sender uplink" : "receiver downlink";
+      const Rate allocated = over_send ? send[static_cast<std::size_t>(p)]
+                                       : recv[static_cast<std::size_t>(p)];
+      const Rate cap =
+          over_send ? fabric_.send_capacity(p) : fabric_.recv_capacity(p);
+      throw std::logic_error(
+          "scheduler '" + scheduler_.name() + "' overdrew " + dir + " of port " +
+          std::to_string(p) + " at t=" + std::to_string(to_seconds(now_)) +
+          "s: allocated " + std::to_string(allocated) + " B/s of " +
+          std::to_string(cap) + " B/s capacity");
     }
   }
 }
@@ -149,6 +165,7 @@ void Engine::harvest_completions(SimTime at) {
       if (!f.finished() && f.remaining() <= 0) {
         c->on_flow_complete(f, at);
         scheduler_.on_flow_complete(*c, f, at);
+        schedule_dirty_ = true;
       }
     }
     if (c->finished()) {
@@ -219,9 +236,23 @@ SimResult Engine::run() {
   running_ = true;
   while (!pending_.empty() || !active_.empty()) {
     if (now_ > config_.max_sim_time) {
-      throw std::runtime_error("Engine: exceeded max_sim_time with " +
-                               std::to_string(active_.size()) +
-                               " coflows unfinished (scheduler starving?)");
+      // Name the stuck work: without the ids and the epoch, a starvation
+      // hang is undebuggable from the exception alone.
+      std::string stuck;
+      constexpr std::size_t kMaxListed = 16;
+      for (std::size_t i = 0; i < active_.size() && i < kMaxListed; ++i) {
+        if (!stuck.empty()) stuck += ", ";
+        stuck += std::to_string(active_[i]->id().value);
+      }
+      if (active_.size() > kMaxListed) stuck += ", ...";
+      throw std::runtime_error(
+          "Engine: exceeded max_sim_time at t=" +
+          std::to_string(to_seconds(now_)) + "s (epoch " +
+          std::to_string(rounds_) + ", scheduler '" + scheduler_.name() +
+          "') with " + std::to_string(active_.size()) +
+          " coflows unfinished [ids: " + stuck +
+          "] and " + std::to_string(pending_.size()) +
+          " pending (scheduler starving?)");
     }
     if (active_.empty()) {
       SAATH_EXPECTS(!pending_.empty());
@@ -229,7 +260,15 @@ SimResult Engine::run() {
     }
     admit_arrivals();
     process_dynamics();
-    compute_schedule();
+    // Quiescent-epoch skip: with no delta since the last assignment, an
+    // unchanged capacity map, and the scheduler vouching that none of its
+    // time-driven triggers (threshold crossings, deadlines) fired, a
+    // recompute would reproduce the current rates — keep them instead.
+    const bool quiescent =
+        config_.skip_quiescent_epochs && !schedule_dirty_ &&
+        now_ < schedule_valid_until_ &&
+        fabric_.capacity_version() == scheduled_capacity_version_;
+    if (!quiescent) compute_schedule();
     advance_until(now_ + config_.delta);
   }
   std::sort(result_.coflows.begin(), result_.coflows.end(),

@@ -31,6 +31,13 @@ struct SimConfig {
   bool reallocate_on_completion = false;
   /// Verify port budgets after every schedule (cheap; on by default).
   bool check_capacity = true;
+  /// Skip compute_schedule() on epochs where no delta (arrival, completion,
+  /// dynamics, data flip, capacity change) occurred since the last
+  /// assignment AND the scheduler's schedule_valid_until() says its ordering
+  /// cannot have drifted. Rates simply persist, which is what a recompute
+  /// over unchanged inputs would produce — results are bit-identical, the
+  /// coordinator just stops burning cycles on quiescent epochs.
+  bool skip_quiescent_epochs = true;
   /// Runaway guard: the run throws if simulated time passes this.
   SimTime max_sim_time = seconds(500'000);
 };
@@ -109,6 +116,11 @@ class Engine {
   SimResult result_;
   SimTime now_ = 0;
   int rounds_ = 0;
+  /// Delta tracking for the quiescent-epoch skip: any state change since
+  /// the last compute_schedule() forces a recompute at the next epoch.
+  bool schedule_dirty_ = true;
+  SimTime schedule_valid_until_ = 0;
+  std::uint64_t scheduled_capacity_version_ = 0;
   std::int64_t next_flow_id_ = 0;
   bool running_ = false;
 };

@@ -33,6 +33,21 @@ class Scheduler {
   virtual void schedule(SimTime now, std::span<CoflowState* const> active,
                         Fabric& fabric) = 0;
 
+  /// How long the assignment just computed stays valid if NO delta (arrival,
+  /// flow/CoFlow completion, dynamics event, data-availability flip,
+  /// capacity change) occurs: the engine may skip recomputation epochs while
+  /// `now < schedule_valid_until(...)`. Schedulers whose decisions drift
+  /// with time alone (queue-threshold crossings, starvation deadlines)
+  /// return the earliest such trigger; the default pessimistically requests
+  /// recomputation every epoch. Must be conservative — returning a time
+  /// *before* the true next trigger only costs a no-op recompute, returning
+  /// one after it changes results.
+  [[nodiscard]] virtual SimTime schedule_valid_until(
+      SimTime now, std::span<CoflowState* const> active) const {
+    (void)active;
+    return now;
+  }
+
   /// Lifecycle notifications (optional overrides).
   virtual void on_coflow_arrival(CoflowState& coflow, SimTime now) {
     (void)coflow;

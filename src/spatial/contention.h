@@ -1,0 +1,81 @@
+// Incremental CoFlow contention — the spatial-occupancy index (§2.4, §3
+// idea 3, §4 Table 2).
+//
+// k_c, the number of *other* CoFlows that share an occupied port with c
+// (restricted, as Saath's LCoF does, to CoFlows in the same priority
+// queue), used to be recomputed from scratch by compute_contention_grouped
+// every time any event invalidated a whole-schedule dirty bit. SpatialIndex
+// maintains k_c incrementally on top of OccupancyIndex:
+//
+//  * per pair of CoFlows it tracks the number of shared occupied port
+//    slots ("overlap"); k_c is the count of same-group neighbors with
+//    overlap > 0;
+//  * a CoFlow arrival adds overlap with each bucket co-resident; a flow
+//    completion touches only the (at most two) buckets it frees; a queue
+//    reassignment re-scores only the CoFlow's own neighbor set.
+//
+// Every update is O(affected neighbors) instead of O(active x ports), which
+// is what makes the coordinator's order phase (Table 2) independent of the
+// epoch rate. The batch oracle in sched/contention.cc is kept as the
+// reference implementation; the property suite asserts equality after every
+// event.
+#pragma once
+
+#include <unordered_map>
+
+#include "spatial/occupancy.h"
+
+namespace saath::spatial {
+
+class SpatialIndex {
+ public:
+  /// Registers an arriving CoFlow with its current unfinished-flow
+  /// occupancy and priority-queue group.
+  void add_coflow(const CoflowState& c, int group);
+
+  /// Unregisters a CoFlow (on completion, or when a consumer resets).
+  void remove_coflow(CoflowId id);
+
+  /// A flow of `c` completed; must be called after CoflowState updated its
+  /// own load lists (the engine's hook order guarantees this).
+  void on_flow_complete(const CoflowState& c, const FlowState& flow);
+
+  /// True when `c` is indexed and no occupancy change happened behind the
+  /// index's back (CoflowState::occupancy_version matches). Consumers that
+  /// cannot guarantee event delivery re-add out-of-sync CoFlows.
+  [[nodiscard]] bool in_sync(const CoflowState& c) const;
+
+  /// Moves `id` to priority-queue group `group`, rescoring contention for
+  /// it and its port neighbors.
+  void set_group(CoflowId id, int group);
+
+  /// k_c: distinct same-group CoFlows sharing an occupied port with `id`.
+  [[nodiscard]] int contention(CoflowId id) const;
+  [[nodiscard]] int group_of(CoflowId id) const;
+
+  [[nodiscard]] bool contains(CoflowId id) const {
+    return entries_.find(id) != entries_.end();
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const OccupancyIndex& occupancy() const { return occupancy_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    int group = 0;
+    int contention = 0;
+    /// CoflowState::occupancy_version at index time.
+    std::uint64_t version = 0;
+    /// neighbor -> number of shared occupied port slots.
+    std::unordered_map<CoflowId, int> overlap;
+  };
+
+  void add_overlap(CoflowId a, Entry& ea, CoflowId b);
+  void drop_overlap(CoflowId a, Entry& ea, CoflowId b);
+
+  OccupancyIndex occupancy_;
+  std::unordered_map<CoflowId, Entry> entries_;
+};
+
+}  // namespace saath::spatial

@@ -4,10 +4,13 @@
 
 #include <cmath>
 
+#include <functional>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "sched/aalo.h"
+#include "sched/contention.h"
 #include "sched/factory.h"
 #include "sched/saath.h"
 #include "sim/engine.h"
@@ -195,6 +198,220 @@ TEST_P(SaathInvariant, AaloQueueMonotonicity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SaathInvariant,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Spatial-occupancy refactor invariants: the incremental SpatialIndex must be
+// indistinguishable — in contention values and in the schedules it produces —
+// from the compute_contention_grouped oracle it replaced.
+
+/// Wraps a SaathScheduler; after every schedule() asserts the incremental
+/// index agrees with the batch oracle over the engine's live active set.
+class IndexOracleObserver final : public Scheduler {
+ public:
+  explicit IndexOracleObserver(SaathConfig cfg) : inner_(cfg) {}
+  std::string name() const override { return inner_.name(); }
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) override {
+    inner_.schedule(now, active, fabric);
+    const auto& index = inner_.spatial_index();
+    ASSERT_EQ(index.size(), active.size());
+    std::vector<int> queue_of(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      queue_of[i] = active[i]->queue_index;
+    }
+    const auto oracle =
+        compute_contention_grouped(active, fabric.num_ports(), queue_of);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      ASSERT_EQ(index.contention(active[i]->id()), oracle[i])
+          << "coflow " << active[i]->id().value << " at t=" << now;
+      ASSERT_EQ(index.group_of(active[i]->id()), active[i]->queue_index);
+    }
+  }
+  SimTime schedule_valid_until(
+      SimTime now, std::span<CoflowState* const> active) const override {
+    return inner_.schedule_valid_until(now, active);
+  }
+  void on_coflow_arrival(CoflowState& c, SimTime now) override {
+    inner_.on_coflow_arrival(c, now);
+  }
+  void on_flow_complete(CoflowState& c, FlowState& f, SimTime now) override {
+    inner_.on_flow_complete(c, f, now);
+  }
+  void on_coflow_complete(CoflowState& c, SimTime now) override {
+    inner_.on_coflow_complete(c, now);
+  }
+  SaathScheduler inner_;
+};
+
+class SpatialRefactor : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] trace::Trace make() const {
+    return trace::synth_small_trace(10, 60, GetParam());
+  }
+  [[nodiscard]] SimConfig config() const {
+    SimConfig cfg;
+    cfg.port_bandwidth = 1e6;
+    cfg.delta = msec(20);
+    return cfg;
+  }
+};
+
+// The incremental index equals the oracle after every scheduling event of a
+// full engine run (arrivals, completions, queue moves all exercised).
+TEST_P(SpatialRefactor, IndexMatchesOracleEveryRound) {
+  const auto t = make();
+  IndexOracleObserver observer{SaathConfig{}};
+  const auto result = simulate(t, observer, config());
+  EXPECT_EQ(result.coflows.size(), t.coflows.size());
+}
+
+/// Records one digest per schedule() round: every flow's id and µs-rounded
+/// rate. Two schedulers produce byte-identical schedules iff the digest
+/// streams match.
+class RateDigestObserver final : public Scheduler {
+ public:
+  RateDigestObserver(SaathConfig cfg, std::vector<std::size_t>* out)
+      : inner_(cfg), out_(out) {}
+  std::string name() const override { return inner_.name(); }
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) override {
+    inner_.schedule(now, active, fabric);
+    std::size_t digest = std::hash<SimTime>{}(now);
+    const auto mix = [&digest](std::size_t v) {
+      digest ^= v + 0x9e3779b97f4a7c15ull + (digest << 6) + (digest >> 2);
+    };
+    for (const CoflowState* c : active) {
+      mix(std::hash<std::int64_t>{}(c->id().value));
+      mix(static_cast<std::size_t>(c->queue_index));
+      for (const auto& f : c->flows()) {
+        mix(std::hash<std::int64_t>{}(f.id().value));
+        mix(std::hash<long long>{}(std::llround(f.rate() * 1e6)));
+      }
+    }
+    out_->push_back(digest);
+  }
+  void on_coflow_arrival(CoflowState& c, SimTime now) override {
+    inner_.on_coflow_arrival(c, now);
+  }
+  void on_flow_complete(CoflowState& c, FlowState& f, SimTime now) override {
+    inner_.on_flow_complete(c, f, now);
+  }
+  void on_coflow_complete(CoflowState& c, SimTime now) override {
+    inner_.on_coflow_complete(c, now);
+  }
+  // Deliberately no schedule_valid_until forward: digests must cover every
+  // epoch, so this observer always requests recomputation.
+  SaathScheduler inner_;
+  std::vector<std::size_t>* out_;
+};
+
+// Saath fed by the incremental index produces the *identical* rate
+// assignment, every epoch, as Saath rebuilding contention from the oracle.
+TEST_P(SpatialRefactor, IncrementalAndRebuildSchedulesIdentical) {
+  const auto t = make();
+  SimConfig cfg = config();
+  cfg.skip_quiescent_epochs = false;  // align epochs 1:1 across both runs
+
+  std::vector<std::size_t> incremental_digests;
+  std::vector<std::size_t> rebuild_digests;
+  SaathConfig inc;  // incremental_spatial = true (default)
+  SaathConfig reb;
+  reb.incremental_spatial = false;
+  RateDigestObserver s_inc(inc, &incremental_digests);
+  RateDigestObserver s_reb(reb, &rebuild_digests);
+
+  const auto r_inc = simulate(t, s_inc, cfg);
+  const auto r_reb = simulate(t, s_reb, cfg);
+
+  ASSERT_EQ(incremental_digests.size(), rebuild_digests.size());
+  for (std::size_t i = 0; i < incremental_digests.size(); ++i) {
+    ASSERT_EQ(incremental_digests[i], rebuild_digests[i]) << "round " << i;
+  }
+  ASSERT_EQ(r_inc.coflows.size(), r_reb.coflows.size());
+  for (std::size_t i = 0; i < r_inc.coflows.size(); ++i) {
+    EXPECT_EQ(r_inc.coflows[i].finish, r_reb.coflows[i].finish);
+    EXPECT_EQ(r_inc.coflows[i].flow_fcts_seconds,
+              r_reb.coflows[i].flow_fcts_seconds);
+  }
+}
+
+// Skipping quiescent epochs must not change any completion time — the
+// skipped recompute would have reproduced the standing rates — while
+// actually skipping rounds on these workloads.
+TEST_P(SpatialRefactor, QuiescentEpochSkipPreservesResults) {
+  const auto t = make();
+  SimConfig with_skip = config();
+  with_skip.skip_quiescent_epochs = true;
+  SimConfig no_skip = config();
+  no_skip.skip_quiescent_epochs = false;
+
+  SaathScheduler s1;
+  SaathScheduler s2;
+  Engine e1(t, s1, with_skip);
+  Engine e2(t, s2, no_skip);
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+
+  ASSERT_EQ(r1.coflows.size(), r2.coflows.size());
+  for (std::size_t i = 0; i < r1.coflows.size(); ++i) {
+    EXPECT_EQ(r1.coflows[i].finish, r2.coflows[i].finish) << "coflow " << i;
+    EXPECT_EQ(r1.coflows[i].flow_fcts_seconds, r2.coflows[i].flow_fcts_seconds);
+  }
+  EXPECT_LE(e1.scheduling_rounds(), e2.scheduling_rounds());
+}
+
+// The skip must also be sound for the non-Saath schedulers (which request
+// recomputation every epoch via the default schedule_valid_until).
+TEST_P(SpatialRefactor, SkipIsNoOpForAlwaysRecomputeSchedulers) {
+  const auto t = make();
+  for (const char* name : {"aalo", "sebf", "uc-tcp"}) {
+    SimConfig with_skip = config();
+    with_skip.skip_quiescent_epochs = true;
+    SimConfig no_skip = config();
+    no_skip.skip_quiescent_epochs = false;
+    auto s1 = make_scheduler(name);
+    auto s2 = make_scheduler(name);
+    const auto r1 = simulate(t, *s1, with_skip);
+    const auto r2 = simulate(t, *s2, no_skip);
+    ASSERT_EQ(r1.coflows.size(), r2.coflows.size());
+    for (std::size_t i = 0; i < r1.coflows.size(); ++i) {
+      EXPECT_EQ(r1.coflows[i].finish, r2.coflows[i].finish)
+          << name << " coflow " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialRefactor,
+                         ::testing::Values(5, 17, 29, 41, 53));
+
+// On a sparse workload (slow ports, long quiet busy periods) the skip must
+// actually fire — an order of magnitude fewer compute_schedule rounds, with
+// the completion schedule untouched. Guards the valid-until plumbing
+// against silently degrading to recompute-every-epoch.
+TEST(QuiescentSkip, ReducesRoundsOnSparseWorkload) {
+  const auto t = trace::synth_small_trace(8, 20, 3);
+  SimConfig base;
+  base.port_bandwidth = 1e5;
+  base.delta = msec(50);
+
+  SimConfig with_skip = base;
+  with_skip.skip_quiescent_epochs = true;
+  SimConfig no_skip = base;
+  no_skip.skip_quiescent_epochs = false;
+
+  SaathScheduler s1;
+  SaathScheduler s2;
+  Engine e1(t, s1, with_skip);
+  Engine e2(t, s2, no_skip);
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+
+  ASSERT_EQ(r1.coflows.size(), r2.coflows.size());
+  for (std::size_t i = 0; i < r1.coflows.size(); ++i) {
+    EXPECT_EQ(r1.coflows[i].finish, r2.coflows[i].finish);
+  }
+  EXPECT_LT(e1.scheduling_rounds() * 10, e2.scheduling_rounds());
+}
 
 }  // namespace
 }  // namespace saath

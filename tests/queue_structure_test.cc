@@ -72,5 +72,27 @@ TEST(QueueStructure, SingleQueueDegeneratesToFifoBucket) {
   EXPECT_TRUE(std::isinf(qs.hi_threshold(0)));
 }
 
+TEST(QueuePopulation, DeltasMatchRecount) {
+  QueuePopulation pop(4);
+  EXPECT_EQ(pop.total(), 0);
+  pop.add(0);
+  pop.add(0);
+  pop.add(2);
+  EXPECT_EQ(pop.count(0), 2);
+  EXPECT_EQ(pop.count(2), 1);
+  EXPECT_EQ(pop.total(), 3);
+  pop.move(0, 3);
+  EXPECT_EQ(pop.count(0), 1);
+  EXPECT_EQ(pop.count(3), 1);
+  pop.move(3, 3);  // no-op
+  EXPECT_EQ(pop.count(3), 1);
+  pop.remove(2);
+  EXPECT_EQ(pop.count(2), 0);
+  EXPECT_EQ(pop.total(), 2);
+  pop.clear();
+  EXPECT_EQ(pop.total(), 0);
+  EXPECT_EQ(pop.count(3), 0);
+}
+
 }  // namespace
 }  // namespace saath

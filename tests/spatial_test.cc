@@ -1,0 +1,207 @@
+// SpatialIndex / OccupancyIndex: the incremental structures must agree with
+// the batch oracle (sched/contention.cc) after EVERY event — arrival, flow
+// completion, queue (group) move, CoFlow removal — not just at steady state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/contention.h"
+#include "spatial/contention.h"
+#include "test_util.h"
+#include "trace/synth.h"
+
+namespace saath {
+namespace {
+
+using testing::make_coflow;
+
+/// Oracle contention for `active`, grouped by the index's own group map.
+std::vector<int> oracle_for(const spatial::SpatialIndex& index,
+                            std::span<CoflowState* const> active,
+                            int num_ports) {
+  std::vector<int> group(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    group[i] = index.group_of(active[i]->id());
+  }
+  return compute_contention_grouped(active, num_ports, group);
+}
+
+void expect_matches_oracle(const spatial::SpatialIndex& index,
+                           std::span<CoflowState* const> active, int num_ports,
+                           const char* when) {
+  ASSERT_EQ(index.size(), active.size()) << when;
+  const auto oracle = oracle_for(index, active, num_ports);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    EXPECT_EQ(index.contention(active[i]->id()), oracle[i])
+        << when << ": coflow " << active[i]->id().value;
+  }
+}
+
+TEST(OccupancyIndex, TracksSlotMembership) {
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 10}, {0, 2, 10}}));
+  set.add(make_coflow(1, 0, {{0, 2, 10}}));
+
+  spatial::OccupancyIndex occ;
+  occ.add_coflow(set.at(0));
+  occ.add_coflow(set.at(1));
+  EXPECT_EQ(occ.members(spatial::sender_bucket(0)).size(), 2u);
+  EXPECT_EQ(occ.members(spatial::receiver_bucket(1)).size(), 1u);
+  EXPECT_EQ(occ.members(spatial::receiver_bucket(2)).size(), 2u);
+  EXPECT_EQ(occ.occupied_slots(CoflowId{0}), 3u);  // sender 0, recv 1, recv 2
+
+  // First 0->1 completion frees receiver 1 but not sender 0 (another flow).
+  auto& c0 = set.at(0);
+  c0.on_flow_complete(c0.flows()[0], seconds(1));
+  const auto delta = occ.on_flow_complete(CoflowId{0}, 0, 1);
+  EXPECT_EQ(delta.sender_freed, kInvalidPort);
+  EXPECT_EQ(delta.receiver_freed, 1);
+  EXPECT_EQ(occ.members(spatial::sender_bucket(0)).size(), 2u);
+  EXPECT_TRUE(occ.members(spatial::receiver_bucket(1)).empty());
+
+  // Second completion frees the rest; removal then touches no buckets.
+  c0.on_flow_complete(c0.flows()[1], seconds(2));
+  const auto delta2 = occ.on_flow_complete(CoflowId{0}, 0, 2);
+  EXPECT_EQ(delta2.sender_freed, 0);
+  EXPECT_EQ(delta2.receiver_freed, 2);
+  EXPECT_EQ(occ.occupied_slots(CoflowId{0}), 0u);
+  EXPECT_TRUE(occ.remove_coflow(CoflowId{0}).empty());
+  EXPECT_EQ(occ.num_coflows(), 1u);
+}
+
+TEST(OccupancyIndex, DeltaAgreesWithCoflowState) {
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 10}, {0, 1, 20}, {2, 1, 30}}));
+  auto& c = set.at(0);
+  spatial::OccupancyIndex occ;
+  occ.add_coflow(c);
+  for (int i = 0; i < 3; ++i) {
+    auto& f = c.flows()[static_cast<std::size_t>(i)];
+    const PortIndex src = f.src();
+    const PortIndex dst = f.dst();
+    const OccupancyDelta state_delta = c.on_flow_complete(f, seconds(i + 1));
+    const auto index_delta = occ.on_flow_complete(c.id(), src, dst);
+    EXPECT_EQ(state_delta.sender_freed, index_delta.sender_freed != kInvalidPort);
+    EXPECT_EQ(state_delta.receiver_freed,
+              index_delta.receiver_freed != kInvalidPort);
+    EXPECT_EQ(c.unfinished_on_sender(src) == 0,
+              state_delta.sender_freed);
+    EXPECT_EQ(c.unfinished_on_receiver(dst) == 0,
+              state_delta.receiver_freed);
+  }
+}
+
+TEST(SpatialIndex, ContentionAcrossLifecycle) {
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 10}, {2, 3, 10}}));  // ports 0,2 / 1,3
+  set.add(make_coflow(1, 0, {{0, 3, 10}}));              // shares 0 and 3
+  set.add(make_coflow(2, 0, {{4, 5, 10}}));              // disjoint
+
+  spatial::SpatialIndex index;
+  index.add_coflow(set.at(0), 0);
+  index.add_coflow(set.at(1), 0);
+  index.add_coflow(set.at(2), 0);
+  EXPECT_EQ(index.contention(CoflowId{0}), 1);
+  EXPECT_EQ(index.contention(CoflowId{1}), 1);
+  EXPECT_EQ(index.contention(CoflowId{2}), 0);
+
+  // Moving C1 to another queue removes it from C0's competitor set.
+  index.set_group(CoflowId{1}, 3);
+  EXPECT_EQ(index.contention(CoflowId{0}), 0);
+  EXPECT_EQ(index.contention(CoflowId{1}), 0);
+  index.set_group(CoflowId{1}, 0);
+  EXPECT_EQ(index.contention(CoflowId{0}), 1);
+
+  // C0's 0->1 flow finishes: they still share receiver... no — C0 keeps
+  // sender 2 / receiver 3, C1 holds sender 0 / receiver 3: overlap remains.
+  auto& c0 = set.at(0);
+  c0.on_flow_complete(c0.flows()[0], seconds(1));
+  index.on_flow_complete(c0, c0.flows()[0]);
+  EXPECT_EQ(index.contention(CoflowId{0}), 1);
+  c0.on_flow_complete(c0.flows()[1], seconds(2));
+  index.on_flow_complete(c0, c0.flows()[1]);
+  EXPECT_EQ(index.contention(CoflowId{0}), 0);
+  EXPECT_EQ(index.contention(CoflowId{1}), 0);
+
+  index.remove_coflow(CoflowId{0});
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.contention(CoflowId{1}), 0);
+}
+
+TEST(SpatialIndex, StaleOccupancyDetectedByVersion) {
+  testing::StateSet set;
+  set.add(make_coflow(0, 0, {{0, 1, 10}, {2, 3, 10}}));
+  spatial::SpatialIndex index;
+  index.add_coflow(set.at(0), 0);
+  EXPECT_TRUE(index.in_sync(set.at(0)));
+  // Completion applied to the state only — the index must notice.
+  auto& c = set.at(0);
+  c.on_flow_complete(c.flows()[0], seconds(1));
+  EXPECT_FALSE(index.in_sync(set.at(0)));
+}
+
+/// Randomized event-stream equivalence: every mutation the scheduler can
+/// feed the index (arrival, flow completion, group move, removal), in
+/// random order over a synthetic workload, checked against the oracle
+/// after each step.
+TEST(SpatialIndex, RandomEventStreamMatchesOracle) {
+  for (const std::uint64_t seed : {7u, 21u, 63u}) {
+    constexpr int kPorts = 12;
+    const auto trace = trace::synth_small_trace(kPorts, 30, seed);
+    Rng rng(seed * 977 + 13);
+
+    spatial::SpatialIndex index;
+    std::vector<std::unique_ptr<CoflowState>> states;
+    std::vector<CoflowState*> tracked;
+    std::size_t next_spec = 0;
+    std::int64_t next_flow = 0;
+
+    const auto add_next = [&] {
+      const auto& spec = trace.coflows[next_spec++];
+      states.push_back(std::make_unique<CoflowState>(spec, FlowId{next_flow}));
+      next_flow += spec.width();
+      tracked.push_back(states.back().get());
+      index.add_coflow(*tracked.back(), static_cast<int>(rng.uniform_int(0, 3)));
+    };
+    // Seed with a handful so events have neighbors to hit.
+    for (int i = 0; i < 5; ++i) add_next();
+
+    for (int step = 0; step < 400; ++step) {
+      const int op = rng.uniform_int(0, 9);
+      if (op <= 1 && next_spec < trace.coflows.size()) {
+        add_next();
+      } else if (op <= 3 && !tracked.empty()) {
+        CoflowState* c =
+            tracked[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(tracked.size()) - 1))];
+        index.set_group(c->id(), static_cast<int>(rng.uniform_int(0, 3)));
+      } else if (op == 4 && !tracked.empty()) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(tracked.size()) - 1));
+        index.remove_coflow(tracked[pos]->id());
+        tracked.erase(tracked.begin() + static_cast<long>(pos));
+      } else if (!tracked.empty()) {
+        // Complete a random unfinished flow of a random tracked CoFlow.
+        CoflowState* c =
+            tracked[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<int>(tracked.size()) - 1))];
+        std::vector<FlowState*> open;
+        for (auto& f : c->flows()) {
+          if (!f.finished()) open.push_back(&f);
+        }
+        if (open.empty()) continue;
+        FlowState* f = open[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(open.size()) - 1))];
+        c->on_flow_complete(*f, msec(step + 1));
+        index.on_flow_complete(*c, *f);
+      }
+      expect_matches_oracle(index, tracked, kPorts, "after event");
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saath
