@@ -1,0 +1,178 @@
+// Event-driven simulation core benchmark — the perf trajectory anchor for
+// the advance phase (completion resolution) and the max-min filler.
+//
+// Runs the FB-scale trace (150 ports, 526 CoFlows) through Saath twice:
+// once with the completion heap (SimConfig::event_driven = true, the
+// default) and once with the scan-based oracle that searches every flow of
+// every active CoFlow per completion micro-step. Reports epochs/sec,
+// advance-phase ns per flow completion, and the oracle/event ratio, plus a
+// maxmin_fair_rates micro-benchmark (ns/flow at FB-snapshot density), and
+// writes everything as machine-readable BENCH_engine_core.json for the CI
+// smoke gate (the advance-phase ratio must hold >= 5x at this scale).
+//
+//   $ ./engine_core [--coflows N] [--out BENCH_engine_core.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fabric/maxmin.h"
+#include "sched/saath.h"
+#include "sim/engine.h"
+#include "trace/synth.h"
+
+namespace saath {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunMeasurement {
+  double wall_ms = 0;
+  double epochs_per_sec = 0;
+  double advance_ns_per_completion = 0;
+  double advance_ms = 0;
+  double schedule_ms = 0;
+  std::int64_t completions = 0;
+  int epochs = 0;
+  SimResult result;
+};
+
+RunMeasurement run_engine(const trace::Trace& trace, bool event_driven) {
+  SaathScheduler sched;
+  SimConfig cfg = bench::paper_sim_config();
+  cfg.event_driven = event_driven;
+  Engine engine(trace, sched, cfg);
+  const auto t0 = Clock::now();
+  RunMeasurement m;
+  m.result = engine.run();
+  m.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  const auto& st = engine.stats();
+  m.epochs = engine.scheduling_rounds();
+  m.completions = st.flow_completions;
+  m.epochs_per_sec = engine.scheduling_rounds() / (m.wall_ms / 1e3);
+  m.advance_ns_per_completion =
+      st.flow_completions > 0
+          ? static_cast<double>(st.advance_ns) / static_cast<double>(st.flow_completions)
+          : 0;
+  m.advance_ms = static_cast<double>(st.advance_ns) / 1e6;
+  m.schedule_ms = static_cast<double>(st.schedule_ns) / 1e6;
+  return m;
+}
+
+/// maxmin ns/flow on a busy snapshot: every flow of every CoFlow contends.
+double bench_maxmin(const trace::Trace& trace, int* out_flows) {
+  std::vector<MaxMinDemand> demands;
+  for (const auto& c : trace.coflows) {
+    for (const auto& f : c.flows) demands.push_back({f.src, f.dst, 0});
+  }
+  *out_flows = static_cast<int>(demands.size());
+  constexpr int kReps = 20;
+  const auto t0 = Clock::now();
+  double sink = 0;
+  for (int i = 0; i < kReps; ++i) {
+    const auto rates = maxmin_fair_rates(demands, trace.num_ports, gbps(1));
+    sink += rates.empty() ? 0 : rates[0];
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+  if (sink < 0) std::printf("?");  // defeat dead-code elimination
+  return ns / kReps / static_cast<double>(demands.size());
+}
+
+int run(int argc, char** argv) {
+  int coflows = 526;
+  std::string out = "BENCH_engine_core.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--coflows") == 0) coflows = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+
+  trace::SynthConfig cfg;
+  cfg.num_ports = 150;
+  cfg.num_coflows = coflows;
+  cfg.seed = 7;
+  const auto trace = trace::synth_fb_trace(cfg);
+
+  bench::print_header(
+      "engine core — event-driven advance (heap) vs scan oracle, " +
+          std::to_string(coflows) + " CoFlows on 150 ports",
+      "ROADMAP perf trajectory; ISSUE 2 acceptance: advance ratio >= 5x");
+
+  const auto event = run_engine(trace, /*event_driven=*/true);
+  const auto oracle = run_engine(trace, /*event_driven=*/false);
+
+  // The two modes must agree bit-exactly; a silent divergence would make
+  // every number below meaningless.
+  bool identical = event.result.coflows.size() == oracle.result.coflows.size();
+  for (std::size_t i = 0; identical && i < event.result.coflows.size(); ++i) {
+    identical = event.result.coflows[i].finish == oracle.result.coflows[i].finish &&
+                event.result.coflows[i].flow_fcts_seconds ==
+                    oracle.result.coflows[i].flow_fcts_seconds;
+  }
+
+  int maxmin_flows = 0;
+  const double maxmin_ns_per_flow = bench_maxmin(trace, &maxmin_flows);
+
+  const double advance_ratio =
+      event.advance_ns_per_completion > 0
+          ? oracle.advance_ns_per_completion / event.advance_ns_per_completion
+          : 0;
+  const double end_to_end_ratio = oracle.wall_ms / event.wall_ms;
+
+  std::printf("%-22s %14s %14s\n", "", "event-driven", "scan oracle");
+  std::printf("%-22s %14.1f %14.1f\n", "wall ms", event.wall_ms, oracle.wall_ms);
+  std::printf("%-22s %14d %14d\n", "epochs", event.epochs, oracle.epochs);
+  std::printf("%-22s %14.0f %14.0f\n", "epochs/sec", event.epochs_per_sec,
+              oracle.epochs_per_sec);
+  std::printf("%-22s %14.0f %14.0f\n", "advance ns/completion",
+              event.advance_ns_per_completion, oracle.advance_ns_per_completion);
+  std::printf("advance-phase ratio: %.1fx   end-to-end ratio: %.2fx   "
+              "results identical: %s\n",
+              advance_ratio, end_to_end_ratio, identical ? "yes" : "NO");
+  std::printf("maxmin: %.1f ns/flow over %d flows\n", maxmin_ns_per_flow,
+              maxmin_flows);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"engine_core\",\n"
+               "  \"trace\": \"%s\",\n"
+               "  \"coflows\": %d,\n"
+               "  \"ports\": %d,\n"
+               "  \"results_identical\": %s,\n"
+               "  \"event\": {\"wall_ms\": %.3f, \"epochs\": %d, "
+               "\"epochs_per_sec\": %.1f, \"completions\": %lld, "
+               "\"advance_ns_per_completion\": %.1f, \"advance_ms\": %.3f, "
+               "\"schedule_ms\": %.3f},\n"
+               "  \"oracle\": {\"wall_ms\": %.3f, \"epochs\": %d, "
+               "\"epochs_per_sec\": %.1f, \"completions\": %lld, "
+               "\"advance_ns_per_completion\": %.1f, \"advance_ms\": %.3f, "
+               "\"schedule_ms\": %.3f},\n"
+               "  \"advance_ratio\": %.2f,\n"
+               "  \"end_to_end_ratio\": %.2f,\n"
+               "  \"maxmin\": {\"flows\": %d, \"ns_per_flow\": %.1f}\n"
+               "}\n",
+               trace.name.c_str(), coflows, trace.num_ports,
+               identical ? "true" : "false", event.wall_ms, event.epochs,
+               event.epochs_per_sec, static_cast<long long>(event.completions),
+               event.advance_ns_per_completion, event.advance_ms,
+               event.schedule_ms, oracle.wall_ms, oracle.epochs,
+               oracle.epochs_per_sec, static_cast<long long>(oracle.completions),
+               oracle.advance_ns_per_completion, oracle.advance_ms,
+               oracle.schedule_ms, advance_ratio, end_to_end_ratio,
+               maxmin_flows, maxmin_ns_per_flow);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace saath
+
+int main(int argc, char** argv) { return saath::run(argc, argv); }

@@ -46,12 +46,13 @@ struct Snapshot {
       next_flow += spec.width();
       active.push_back(states.back().get());
     }
-    // Give CoFlows uneven progress so queue assignment has real work to do.
+    // Give CoFlows uneven progress so queue assignment has real work to do:
+    // rate from t=0, folded to a stop at 1-3 s (lazy progress accrues in
+    // between).
     int i = 0;
     for (auto& c : states) {
-      for (auto& f : c->flows()) f.set_rate(1e6 * (1 + i % 7));
-      c->advance_all(seconds(1 + i % 3));
-      for (auto& f : c->flows()) f.set_rate(0);
+      for (auto& f : c->flows()) f.set_rate(1e6 * (1 + i % 7), 0);
+      for (auto& f : c->flows()) f.set_rate(0, seconds(1 + i % 3));
       ++i;
     }
   }
@@ -70,7 +71,7 @@ void run_saath_snapshot(benchmark::State& state, const SaathConfig& cfg) {
   Snapshot snap(static_cast<int>(state.range(0)), 7);
   SaathScheduler sched(cfg);
   Fabric fabric(150, gbps(1));
-  SimTime now = 0;
+  SimTime now = seconds(3);  // past the snapshot's progress folds
   for (auto _ : state) {
     fabric.reset();
     sched.schedule(now, snap.active, fabric);
@@ -98,7 +99,7 @@ void BM_AaloSchedule(benchmark::State& state) {
   Snapshot snap(static_cast<int>(state.range(0)), 7);
   AaloScheduler sched;
   Fabric fabric(150, gbps(1));
-  SimTime now = 0;
+  SimTime now = seconds(3);  // past the snapshot's progress folds
   for (auto _ : state) {
     fabric.reset();
     sched.schedule(now, snap.active, fabric);

@@ -24,16 +24,15 @@ class WidestFirstScheduler final : public Scheduler {
   std::string name() const override { return "widest-first"; }
 
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override {
+                Fabric& fabric, RateAssignment& rates) override {
     (void)now;
-    zero_rates(active);
     std::vector<CoflowState*> order(active.begin(), active.end());
     std::sort(order.begin(), order.end(),
               [](const CoflowState* a, const CoflowState* b) {
                 if (a->width() != b->width()) return a->width() > b->width();
                 return a->id() < b->id();
               });
-    for (CoflowState* c : order) allocate_greedy_fair(*c, fabric);
+    for (CoflowState* c : order) allocate_greedy_fair(*c, fabric, rates);
   }
 };
 

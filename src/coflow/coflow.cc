@@ -1,7 +1,8 @@
 #include "coflow/coflow.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
+#include <numeric>
 
 #include "common/expect.h"
 
@@ -19,40 +20,114 @@ Bytes CoflowSpec::max_flow_bytes() const {
   return m;
 }
 
-FlowState::FlowState(FlowId id, const FlowSpec& spec)
-    : id_(id), src_(spec.src), dst_(spec.dst), size_(static_cast<double>(spec.size)) {
+FlowState::FlowState(FlowId id, const FlowSpec& spec, SimTime origin)
+    : id_(id),
+      src_(spec.src),
+      dst_(spec.dst),
+      size_(static_cast<double>(spec.size)),
+      anchor_(origin),
+      // A zero-byte flow is done the moment it exists; everything else
+      // cannot finish until it is given a rate.
+      predicted_finish_(spec.size <= 0 ? origin : kNever) {
   SAATH_EXPECTS(spec.src >= 0);
   SAATH_EXPECTS(spec.dst >= 0);
   SAATH_EXPECTS(spec.size >= 0);
-  // Zero-byte flows complete instantly on arrival; the engine handles that.
 }
 
-void FlowState::advance(SimTime dt) {
-  SAATH_EXPECTS(dt >= 0);
-  if (finished_ || rate_ <= 0) return;
-  sent_ = std::min(size_, sent_ + rate_ * to_seconds(dt));
+void FlowState::set_rate(Rate r, SimTime now) {
+  SAATH_EXPECTS(r >= 0);
+  if (finished_) return;
+  // Anchors never move backwards: a query/change dated before the last fold
+  // behaves as if issued at the fold (only direct drivers ever do this).
+  const SimTime at = std::max(now, anchor_);
+  if (r == rate_) {
+    // Same-rate assignment: the current trajectory is already correct. An
+    // exact no-op (anchor, prediction and version all keep) is what makes a
+    // recomputation over unchanged inputs bit-invisible — re-folding would
+    // move the µs rounding of the finish instant.
+    return;
+  }
+  if (rate_ == 0 && r == resume_rate_ && at == resume_zeroed_at_) {
+    // The epoch-start zeroing is being cancelled by re-assigning the very
+    // rate it took away, at the same instant: restore the pre-zero
+    // trajectory exactly — version included, so the completion event
+    // already queued for it stays valid and nothing is re-pushed.
+    anchor_ = resume_anchor_;
+    sent_base_ = resume_base_;
+    rate_ = resume_rate_;
+    predicted_finish_ = resume_pf_;
+    rate_version_ = resume_version_;
+    resume_zeroed_at_ = kNever;
+    note_mutation(0, rate_);
+    return;
+  }
+  if (r == 0 && rate_ > 0) {
+    // Stash the live trajectory: if this zeroing is an epoch blank-slate
+    // and the scheduler hands the same rate back, we restore it above.
+    resume_zeroed_at_ = at;
+    resume_anchor_ = anchor_;
+    resume_base_ = sent_base_;
+    resume_rate_ = rate_;
+    resume_pf_ = predicted_finish_;
+    resume_version_ = rate_version_;
+  } else {
+    resume_zeroed_at_ = kNever;  // a real rate change invalidates the stash
+  }
+  const Rate before = rate_;
+  sent_base_ = sent(at);
+  anchor_ = at;
+  rate_ = r;
+  ++rate_version_;
+  note_mutation(before, r);
+  const double rem = size_ - sent_base_;
+  if (rem <= 0) {
+    predicted_finish_ = at;
+  } else if (r <= 0) {
+    predicted_finish_ = kNever;
+  } else {
+    const double us = std::ceil((rem / r) * 1e6);
+    // Completions land on the µs grid, at least 1µs after the change so
+    // time always advances. Saturate far-future instants to kNever — they
+    // sit beyond any runaway guard and the add would overflow.
+    predicted_finish_ = us < 9e18 ? at + std::max<SimTime>(
+                                             1, static_cast<SimTime>(us))
+                                  : kNever;
+  }
 }
 
 void FlowState::complete(SimTime now) {
   SAATH_EXPECTS(!finished_);
-  sent_ = size_;
+  const Rate before = rate_;
+  sent_base_ = size_;
   rate_ = 0;
+  anchor_ = std::max(now, anchor_);
   finished_ = true;
   finish_time_ = now;
+  predicted_finish_ = now;
+  ++rate_version_;
+  note_mutation(before, 0);
 }
 
-double FlowState::restart() {
+double FlowState::restart(SimTime now) {
   SAATH_EXPECTS(!finished_);
-  const double lost = sent_;
-  sent_ = 0;
+  const SimTime at = std::max(now, anchor_);
+  const double lost = sent(at);
+  const Rate before = rate_;
+  sent_base_ = 0;
   rate_ = 0;
+  anchor_ = at;
+  predicted_finish_ = size_ <= 0 ? at : kNever;
+  resume_zeroed_at_ = kNever;
+  ++rate_version_;
+  note_mutation(before, 0);
   return lost;
 }
 
-double FlowState::seconds_to_finish() const {
-  if (finished_) return 0.0;
-  if (rate_ <= 0) return std::numeric_limits<double>::infinity();
-  return (size_ - sent_) / rate_;
+void FlowState::note_mutation(Rate rate_before, Rate rate_after) {
+  if (owner_ == nullptr) return;
+  ++owner_->progress_version_;
+  owner_->rated_flows_ +=
+      static_cast<int>(rate_after > 0) - static_cast<int>(rate_before > 0);
 }
 
 namespace {
@@ -67,26 +142,29 @@ void add_load(std::vector<PortLoad>& loads, PortIndex port) {
   loads.push_back({port, 1});
 }
 
-/// Decrements the port's load; returns the count left on that slot.
-int drop_load(std::vector<PortLoad>& loads, PortIndex port) {
-  for (auto& l : loads) {
-    if (l.port == port) {
-      SAATH_EXPECTS(l.unfinished_flows > 0);
-      return --l.unfinished_flows;
-    }
-  }
-  SAATH_EXPECTS(false && "port not found in load list");
-  return 0;
-}
-
-int load_on(std::span<const PortLoad> loads, PortIndex port) {
-  for (const auto& l : loads) {
-    if (l.port == port) return l.unfinished_flows;
-  }
-  return 0;
+/// Sorted-by-port view over `loads`, built once at construction (a CoFlow's
+/// port set never grows).
+[[nodiscard]] std::vector<std::uint32_t> sorted_slots(
+    const std::vector<PortLoad>& loads) {
+  std::vector<std::uint32_t> order(loads.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return loads[a].port < loads[b].port;
+  });
+  return order;
 }
 
 }  // namespace
+
+int CoflowState::find_slot(const std::vector<PortLoad>& loads,
+                           const std::vector<std::uint32_t>& order,
+                           PortIndex port) {
+  const auto it = std::lower_bound(
+      order.begin(), order.end(), port,
+      [&](std::uint32_t idx, PortIndex p) { return loads[idx].port < p; });
+  if (it == order.end() || loads[*it].port != port) return -1;
+  return static_cast<int>(*it);
+}
 
 CoflowState::CoflowState(const CoflowSpec& spec, FlowId first_flow_id)
     : spec_(spec) {
@@ -94,10 +172,13 @@ CoflowState::CoflowState(const CoflowSpec& spec, FlowId first_flow_id)
   flows_.reserve(spec.flows.size());
   std::int64_t next = first_flow_id.value;
   for (const auto& fs : spec.flows) {
-    flows_.emplace_back(FlowId{next++}, fs);
+    flows_.emplace_back(FlowId{next++}, fs, spec.arrival);
+    flows_.back().owner_ = this;
     add_load(senders_, fs.src);
     add_load(receivers_, fs.dst);
   }
+  sender_order_ = sorted_slots(senders_);
+  receiver_order_ = sorted_slots(receivers_);
   unfinished_ = static_cast<int>(flows_.size());
 }
 
@@ -106,38 +187,42 @@ SimTime CoflowState::completion_time() const {
   return finish_time_ - spec_.arrival;
 }
 
-double CoflowState::max_flow_sent() const {
-  double m = 0;
-  for (const auto& f : flows_) m = std::max(m, f.sent());
-  return m;
+double CoflowState::total_sent(SimTime now) const {
+  return cached_aggregate(total_sent_cache_, now, [&] {
+    double sum = 0;
+    for (const auto& f : flows_) sum += f.sent(now);
+    return sum;
+  });
 }
 
-double CoflowState::total_remaining() const {
+double CoflowState::max_flow_sent(SimTime now) const {
+  return cached_aggregate(max_sent_cache_, now, [&] {
+    double m = 0;
+    for (const auto& f : flows_) m = std::max(m, f.sent(now));
+    return m;
+  });
+}
+
+double CoflowState::total_remaining(SimTime now) const {
   double rem = 0;
-  for (const auto& f : flows_) rem += f.remaining();
+  for (const auto& f : flows_) rem += f.remaining(now);
   return rem;
 }
 
-double CoflowState::bottleneck_seconds(Rate port_bandwidth) const {
+double CoflowState::bottleneck_seconds(Rate port_bandwidth, SimTime now) const {
   SAATH_EXPECTS(port_bandwidth > 0);
   // Remaining bytes aggregated per port in one pass over the flows; Γ is
   // the worst port at line rate. The per-port accumulators live in the
-  // (small) load lists: index them once instead of rescanning flows per
-  // port, which matters for wide CoFlows on the clairvoyant paths that
-  // call this every epoch.
+  // (small) load lists, addressed through the sorted slot index.
   std::vector<double> send_bytes(senders_.size(), 0.0);
   std::vector<double> recv_bytes(receivers_.size(), 0.0);
-  auto index_of = [](const std::vector<PortLoad>& loads, PortIndex port) {
-    for (std::size_t i = 0; i < loads.size(); ++i) {
-      if (loads[i].port == port) return i;
-    }
-    SAATH_EXPECTS(false && "flow port missing from load list");
-    return std::size_t{0};
-  };
   for (const auto& f : flows_) {
     if (f.finished()) continue;
-    send_bytes[index_of(senders_, f.src())] += f.remaining();
-    recv_bytes[index_of(receivers_, f.dst())] += f.remaining();
+    const int s = find_slot(senders_, sender_order_, f.src());
+    const int r = find_slot(receivers_, receiver_order_, f.dst());
+    SAATH_EXPECTS(s >= 0 && r >= 0);
+    send_bytes[static_cast<std::size_t>(s)] += f.remaining(now);
+    recv_bytes[static_cast<std::size_t>(r)] += f.remaining(now);
   }
   double worst = 0;
   for (double b : send_bytes) worst = std::max(worst, b);
@@ -145,40 +230,40 @@ double CoflowState::bottleneck_seconds(Rate port_bandwidth) const {
   return worst / port_bandwidth;
 }
 
-void CoflowState::advance_all(SimTime dt) {
-  for (auto& f : flows_) {
-    if (f.finished() || f.rate() <= 0) continue;
-    const double before = f.sent();
-    f.advance(dt);
-    total_sent_ += f.sent() - before;
-  }
-}
-
-int CoflowState::restart_flows_on_port(PortIndex port) {
+int CoflowState::restart_flows_on_port(PortIndex port, SimTime now) {
   int restarted = 0;
   for (auto& f : flows_) {
     if (f.finished() || (f.src() != port && f.dst() != port)) continue;
-    total_sent_ -= f.restart();
+    f.restart(now);
     ++restarted;
   }
   return restarted;
 }
 
 int CoflowState::unfinished_on_sender(PortIndex port) const {
-  return load_on(senders_, port);
+  const int slot = find_slot(senders_, sender_order_, port);
+  return slot < 0 ? 0 : senders_[static_cast<std::size_t>(slot)].unfinished_flows;
 }
 
 int CoflowState::unfinished_on_receiver(PortIndex port) const {
-  return load_on(receivers_, port);
+  const int slot = find_slot(receivers_, receiver_order_, port);
+  return slot < 0 ? 0
+                  : receivers_[static_cast<std::size_t>(slot)].unfinished_flows;
 }
 
 OccupancyDelta CoflowState::on_flow_complete(FlowState& flow, SimTime now) {
   SAATH_EXPECTS(!flow.finished());
-  total_sent_ += flow.remaining();
   flow.complete(now);
+  const int s = find_slot(senders_, sender_order_, flow.src());
+  const int r = find_slot(receivers_, receiver_order_, flow.dst());
+  SAATH_EXPECTS(s >= 0 && r >= 0);
+  auto& sload = senders_[static_cast<std::size_t>(s)];
+  auto& rload = receivers_[static_cast<std::size_t>(r)];
+  SAATH_EXPECTS(sload.unfinished_flows > 0);
+  SAATH_EXPECTS(rload.unfinished_flows > 0);
   OccupancyDelta delta;
-  delta.sender_freed = drop_load(senders_, flow.src()) == 0;
-  delta.receiver_freed = drop_load(receivers_, flow.dst()) == 0;
+  delta.sender_freed = --sload.unfinished_flows == 0;
+  delta.receiver_freed = --rload.unfinished_flows == 0;
   finished_lengths_.push_back(flow.size());
   ++occupancy_version_;
   --unfinished_;

@@ -5,8 +5,17 @@
 // its last flow. CoflowSpec/FlowSpec are immutable trace-level descriptions;
 // FlowState/CoflowState carry the mutable simulation state the engine and
 // schedulers operate on.
+//
+// Flow progress is *lazy*: a FlowState stores (bytes at last rate change,
+// rate, anchor time) and computes sent()/remaining() on demand, so advancing
+// simulated time touches no per-flow state at all. A rate change folds the
+// progress accrued at the old rate into the base and re-anchors; it also
+// precomputes the flow's finish instant on the µs grid, which is what both
+// the event-driven completion heap and the scan-based oracle consume.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -37,43 +46,99 @@ struct CoflowSpec {
   [[nodiscard]] Bytes max_flow_bytes() const;
 };
 
-/// Mutable per-flow simulation state.
+class CoflowState;
+
+/// Mutable per-flow simulation state with lazy (closed-form) progress.
 class FlowState {
  public:
-  FlowState(FlowId id, const FlowSpec& spec);
+  /// `origin` anchors the flow's timeline (its CoFlow's arrival); a
+  /// zero-byte flow is predicted to finish right there.
+  FlowState(FlowId id, const FlowSpec& spec, SimTime origin = 0);
 
   [[nodiscard]] FlowId id() const { return id_; }
   [[nodiscard]] PortIndex src() const { return src_; }
   [[nodiscard]] PortIndex dst() const { return dst_; }
   [[nodiscard]] double size() const { return size_; }
-  [[nodiscard]] double sent() const { return sent_; }
-  [[nodiscard]] double remaining() const { return size_ - sent_; }
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] SimTime finish_time() const { return finish_time_; }
 
-  [[nodiscard]] Rate rate() const { return rate_; }
-  void set_rate(Rate r) { rate_ = r; }
+  /// Bytes sent as of `now`, computed from the last rate change; queries
+  /// before the anchor return the base (progress never runs backwards).
+  /// Inline: this is the hottest read in every scheduler's queue pass.
+  [[nodiscard]] double sent(SimTime now) const {
+    if (rate_ <= 0 || now <= anchor_) return finished_ ? size_ : sent_base_;
+    return std::min(size_, sent_base_ + rate_ * to_seconds(now - anchor_));
+  }
+  [[nodiscard]] double remaining(SimTime now) const { return size_ - sent(now); }
 
-  /// Advances the fluid model by dt at the current rate.
-  void advance(SimTime dt);
+  [[nodiscard]] Rate rate() const { return rate_; }
+
+  /// Changes the rate at `now`: folds progress accrued at the old rate into
+  /// the base, re-anchors, bumps the rate version (invalidating any queued
+  /// completion events), and recomputes predicted_finish(). During an engine
+  /// run all rate changes must go through the engine's RateAssignment so the
+  /// completion heap sees them; calling this directly is for unit tests and
+  /// manual CoflowState drives only.
+  void set_rate(Rate r, SimTime now);
+
+  /// Absolute µs instant this flow finishes at its current rate (ceil'd to
+  /// the µs grid, at least 1µs after the rate change); kNever when the rate
+  /// is zero and bytes remain.
+  [[nodiscard]] SimTime predicted_finish() const { return predicted_finish_; }
+
+  /// Bumped on every rate change / completion / restart. Completion events
+  /// snapshot it; a mismatch at pop time marks the event stale.
+  [[nodiscard]] std::uint64_t rate_version() const { return rate_version_; }
+
   /// Marks the flow complete at `now` (engine computes the exact instant).
   void complete(SimTime now);
   /// Task restart after a node failure: all progress is lost (§4.3).
   /// Returns the bytes that were discarded.
-  double restart();
+  double restart(SimTime now);
 
-  /// Seconds to completion at the current rate; +inf when rate is 0.
-  [[nodiscard]] double seconds_to_finish() const;
+  /// RateAssignment bookkeeping: stamp of the epoch that last recorded this
+  /// flow as touched. Owned by RateAssignment; meaningless elsewhere.
+  [[nodiscard]] std::uint64_t touch_stamp() const { return touch_stamp_; }
+  void set_touch_stamp(std::uint64_t s) { touch_stamp_ = s; }
+
+  /// CompletionHeap bookkeeping: rate version the heap last enqueued (or
+  /// deliberately skipped). Owned by CompletionHeap; meaningless elsewhere.
+  [[nodiscard]] std::uint64_t heap_stamp() const { return heap_stamp_; }
+  void set_heap_stamp(std::uint64_t s) { heap_stamp_ = s; }
 
  private:
+  friend class CoflowState;
+  /// Reports a trajectory mutation (rate change, completion, restart) to
+  /// the owning CoflowState's aggregate cache; no-op for standalone flows.
+  void note_mutation(Rate rate_before, Rate rate_after);
+
+  // Field order is deliberate: the first cache line holds everything the
+  // per-epoch scheduler passes read (sent()/rate()/finished() over tens of
+  // thousands of flows); rate-change-only bookkeeping sits behind it.
   FlowId id_;
   PortIndex src_;
   PortIndex dst_;
   double size_;
-  double sent_ = 0;
+  double sent_base_ = 0;            // bytes sent as of anchor_
   Rate rate_ = 0;
+  SimTime anchor_ = 0;              // time of the last rate change / fold
+  SimTime predicted_finish_ = kNever;
   bool finished_ = false;
+  // --- cold from here: touched only on rate changes / completion ---
+  CoflowState* owner_ = nullptr;    // set by CoflowState's constructor
   SimTime finish_time_ = kNever;
+  std::uint64_t rate_version_ = 0;
+  std::uint64_t touch_stamp_ = 0;
+  std::uint64_t heap_stamp_ = ~std::uint64_t{0};
+  /// Trajectory stashed by an epoch-start zeroing, restored bit-exactly if
+  /// the scheduler re-assigns the same rate at the same instant (the
+  /// quiescent-recompute case). resume_zeroed_at_ == kNever means invalid.
+  SimTime resume_zeroed_at_ = kNever;
+  SimTime resume_anchor_ = 0;
+  double resume_base_ = 0;
+  Rate resume_rate_ = 0;
+  SimTime resume_pf_ = kNever;
+  std::uint64_t resume_version_ = 0;
 };
 
 /// How many unfinished flows a CoFlow has on a given port.
@@ -94,6 +159,10 @@ struct OccupancyDelta {
 class CoflowState {
  public:
   CoflowState(const CoflowSpec& spec, FlowId first_flow_id);
+  /// Flows hold a back-pointer to their owner (for the aggregate caches);
+  /// the state is pinned in place.
+  CoflowState(const CoflowState&) = delete;
+  CoflowState& operator=(const CoflowState&) = delete;
 
   [[nodiscard]] const CoflowSpec& spec() const { return spec_; }
   [[nodiscard]] CoflowId id() const { return spec_.id; }
@@ -108,20 +177,24 @@ class CoflowState {
   [[nodiscard]] SimTime finish_time() const { return finish_time_; }
   [[nodiscard]] SimTime completion_time() const;
 
-  /// Total bytes sent across all flows so far (Aalo's queueing metric).
-  [[nodiscard]] double total_sent() const { return total_sent_; }
-  /// Max bytes sent by any single flow (Saath's per-flow queue metric, m_c).
-  [[nodiscard]] double max_flow_sent() const;
-  [[nodiscard]] double total_remaining() const;
+  /// Total bytes sent across all flows as of `now` (Aalo's queueing metric).
+  /// Cached: recomputed only when some flow's trajectory changed since the
+  /// last query, or time moved while flows were actively sending — on
+  /// quiescent epochs (the common case under all-or-none) this is O(1).
+  [[nodiscard]] double total_sent(SimTime now) const;
+  /// Max bytes sent by any single flow (Saath's per-flow queue metric,
+  /// m_c). Cached like total_sent().
+  [[nodiscard]] double max_flow_sent(SimTime now) const;
+  [[nodiscard]] double total_remaining(SimTime now) const;
 
   /// Distinct sender/receiver ports still carrying unfinished flows.
-  /// Entries with unfinished_flows == 0 remain in the list (stable order) and
-  /// must be skipped by callers; active_* iterate for convenience.
+  /// Entries with unfinished_flows == 0 remain in the list (stable
+  /// first-appearance order) and must be skipped by callers.
   [[nodiscard]] std::span<const PortLoad> sender_loads() const { return senders_; }
   [[nodiscard]] std::span<const PortLoad> receiver_loads() const { return receivers_; }
 
   /// Unfinished flows on one specific port slot (0 when the CoFlow never
-  /// touched the port).
+  /// touched the port). O(log ports) via the sorted slot index.
   [[nodiscard]] int unfinished_on_sender(PortIndex port) const;
   [[nodiscard]] int unfinished_on_receiver(PortIndex port) const;
 
@@ -134,16 +207,15 @@ class CoflowState {
 
   /// Bottleneck time at full port bandwidth over remaining bytes — the SEBF
   /// metric Γ (max over ports of remaining port bytes / bandwidth).
-  [[nodiscard]] double bottleneck_seconds(Rate port_bandwidth) const;
+  [[nodiscard]] double bottleneck_seconds(Rate port_bandwidth, SimTime now) const;
 
   /// Engine hooks --------------------------------------------------------
-  void advance_all(SimTime dt);
   /// Completes `flow` at `now`, updating port loads and finish bookkeeping.
   /// Reports which of the flow's two port memberships dropped to zero.
   OccupancyDelta on_flow_complete(FlowState& flow, SimTime now);
   /// Node failure on `port`: restarts every unfinished flow touching it.
   /// Returns the number of flows restarted.
-  int restart_flows_on_port(PortIndex port);
+  int restart_flows_on_port(PortIndex port, SimTime now);
 
   /// Scheduler-owned annotations ------------------------------------------
   int queue_index = 0;
@@ -162,15 +234,54 @@ class CoflowState {
   }
 
  private:
+  friend class FlowState;
+  /// Slot of `port` in `loads` via the sorted index; -1 when absent.
+  [[nodiscard]] static int find_slot(const std::vector<PortLoad>& loads,
+                                     const std::vector<std::uint32_t>& order,
+                                     PortIndex port);
+
+  /// One memoized scalar aggregate over the flows (total_sent,
+  /// max_flow_sent): valid while no flow trajectory mutated and, when some
+  /// flow is actively sending, the query instant is unchanged.
+  struct AggregateCache {
+    double value = 0;
+    SimTime at = kNever;
+    std::uint64_t version = ~std::uint64_t{0};
+  };
+  template <typename Compute>
+  double cached_aggregate(AggregateCache& cache, SimTime now,
+                          Compute&& compute) const {
+    if (cache.version == progress_version_ &&
+        (rated_flows_ == 0 || cache.at == now)) {
+      return cache.value;
+    }
+    cache.value = compute();
+    cache.at = now;
+    cache.version = progress_version_;
+    return cache.value;
+  }
+
   CoflowSpec spec_;
   std::vector<FlowState> flows_;
   std::vector<PortLoad> senders_;
   std::vector<PortLoad> receivers_;
+  /// Indices into senders_/receivers_ sorted by port, so per-port lookups
+  /// are O(log W) even for CoFlows spanning hundreds of ports. The load
+  /// lists themselves keep first-appearance order (allocation iteration
+  /// order is observable).
+  std::vector<std::uint32_t> sender_order_;
+  std::vector<std::uint32_t> receiver_order_;
   std::vector<double> finished_lengths_;
-  double total_sent_ = 0;
   int unfinished_ = 0;
   std::uint64_t occupancy_version_ = 0;
   SimTime finish_time_ = kNever;
+  /// Bumped by FlowState::note_mutation on every trajectory change; keys
+  /// the aggregate caches. rated_flows_ counts flows with rate > 0 — when
+  /// zero, sent-byte aggregates are time-invariant.
+  std::uint64_t progress_version_ = 0;
+  int rated_flows_ = 0;
+  mutable AggregateCache total_sent_cache_;
+  mutable AggregateCache max_sent_cache_;
 };
 
 }  // namespace saath

@@ -2,10 +2,11 @@
 //
 // Used by the UC-TCP baseline (every flow is a TCP connection contending at
 // its sender uplink and receiver downlink) and available to any scheduler
-// that wants a fair intra-set split. The classic waterfilling algorithm:
-// repeatedly find the most-constrained port (smallest equal share among its
-// unfrozen flows), freeze those flows at that share, and continue until all
-// flows are frozen.
+// that wants a fair intra-set split. Implemented in water-level form with
+// per-port active-flow buckets and a bottleneck heap: the common level rises
+// from event to event (a port saturating, a flow hitting its cap), and each
+// event only touches the ports of the flows it freezes — O((F + P) log P)
+// overall instead of the classic O(F²) freeze scans.
 #pragma once
 
 #include <span>

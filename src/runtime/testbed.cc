@@ -21,7 +21,7 @@ bool PipelinedScheduler::coordinator_down(SimTime now) const {
 
 void PipelinedScheduler::apply(const Assignment& assignment,
                                std::span<CoflowState* const> active,
-                               Fabric& fabric) const {
+                               Fabric& fabric, RateAssignment& rates) const {
   for (CoflowState* c : active) {
     for (auto& f : c->flows()) {
       if (f.finished()) continue;
@@ -32,7 +32,7 @@ void PipelinedScheduler::apply(const Assignment& assignment,
       const Rate r = std::min({it->second, fabric.send_remaining(f.src()),
                                fabric.recv_remaining(f.dst())});
       if (r <= 0) continue;
-      f.set_rate(r);
+      rates.set(*c, f, r);
       fabric.consume(f.src(), f.dst(), r);
     }
   }
@@ -40,25 +40,25 @@ void PipelinedScheduler::apply(const Assignment& assignment,
 
 void PipelinedScheduler::schedule(SimTime now,
                                   std::span<CoflowState* const> active,
-                                  Fabric& fabric) {
+                                  Fabric& fabric, RateAssignment& rates) {
   // 1. Coordinator computes a fresh assignment from current stats (unless
-  //    it is down). The inner scheduler works against a scratch fabric so
-  //    the real budgets stay untouched for the delivery step.
+  //    it is down). The inner scheduler works against a scratch fabric and
+  //    a scratch rate view so the real budgets (and the engine's touched
+  //    set) stay untouched for the delivery step.
   if (!coordinator_down(now)) {
     Fabric scratch(fabric.num_ports(), fabric.port_bandwidth());
     scratch.reset();
-    inner_.schedule(now, active, scratch);
+    tentative_.begin_epoch(now);
+    inner_.schedule(now, active, scratch, tentative_);
     Assignment fresh;
-    for (CoflowState* c : active) {
-      for (auto& f : c->flows()) {
-        if (!f.finished() && f.rate() > 0) fresh.emplace(f.id(), f.rate());
+    for (const auto& touch : tentative_.touched()) {
+      if (!touch.flow->finished() && touch.flow->rate() > 0) {
+        fresh.emplace(touch.flow->id(), touch.flow->rate());
       }
     }
     in_flight_.push_back(std::move(fresh));
-  }
-  // Rates set by the inner scheduler were tentative; clear before delivery.
-  for (CoflowState* c : active) {
-    for (auto& f : c->flows()) f.set_rate(0);
+    // The tentative rates are not a schedule; discard them before delivery.
+    tentative_.begin_epoch(now);
   }
 
   // 2. An assignment whose pipeline delay elapsed reaches the agents.
@@ -68,7 +68,7 @@ void PipelinedScheduler::schedule(SimTime now,
   }
 
   // 3. Agents enact the last delivered schedule.
-  apply(last_delivered_, active, fabric);
+  apply(last_delivered_, active, fabric, rates);
 }
 
 SimResult run_testbed(const trace::Trace& trace, Scheduler& inner,

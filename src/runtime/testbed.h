@@ -46,8 +46,9 @@ class PipelinedScheduler final : public Scheduler {
     return inner_.name() + "+testbed";
   }
 
+  using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override;
+                Fabric& fabric, RateAssignment& rates) override;
 
   void on_coflow_arrival(CoflowState& coflow, SimTime now) override {
     inner_.on_coflow_arrival(coflow, now);
@@ -65,12 +66,16 @@ class PipelinedScheduler final : public Scheduler {
 
   [[nodiscard]] bool coordinator_down(SimTime now) const;
   void apply(const Assignment& assignment,
-             std::span<CoflowState* const> active, Fabric& fabric) const;
+             std::span<CoflowState* const> active, Fabric& fabric,
+             RateAssignment& rates) const;
 
   Scheduler& inner_;
   TestbedConfig config_;
   std::deque<Assignment> in_flight_;
   Assignment last_delivered_;
+  /// Scratch view the inner scheduler's tentative pass writes through; its
+  /// rates are discarded before the delivered assignment is enacted.
+  RateAssignment tentative_;
 };
 
 /// Runs `trace` through `inner` under testbed semantics.

@@ -10,16 +10,14 @@ namespace saath {
 AaloScheduler::AaloScheduler(AaloConfig config) : queues_(config.queues) {}
 
 void AaloScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
-                             Fabric& fabric) {
-  (void)now;
-  zero_rates(active);
+                             Fabric& fabric, RateAssignment& rates) {
   // Queue from total bytes sent. Aalo's metric only grows, so the queue
   // index is monotonically non-decreasing — even after a failure-induced
   // restart shrinks the byte count, Aalo never promotes (the very weakness
   // §4.3 contrasts Saath against), hence the max().
   for (CoflowState* c : active) {
-    c->queue_index =
-        std::max(c->queue_index, queues_.queue_for_total_bytes(c->total_sent()));
+    c->queue_index = std::max(c->queue_index,
+                              queues_.queue_for_total_bytes(c->total_sent(now)));
   }
 
   std::vector<CoflowState*> order(active.begin(), active.end());
@@ -33,7 +31,7 @@ void AaloScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
             });
 
   for (CoflowState* c : order) {
-    allocate_greedy_fair(*c, fabric);
+    allocate_greedy_fair(*c, fabric, rates);
   }
 }
 

@@ -21,8 +21,9 @@ class AaloScheduler final : public Scheduler {
 
   [[nodiscard]] std::string name() const override { return "aalo"; }
 
+  using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override;
+                Fabric& fabric, RateAssignment& rates) override;
 
  private:
   QueueStructure queues_;

@@ -7,7 +7,8 @@
 
 namespace saath {
 
-double allocate_greedy_fair(CoflowState& c, Fabric& fabric) {
+double allocate_greedy_fair(CoflowState& c, Fabric& fabric,
+                            RateAssignment& rates) {
   double granted = 0;
   // Equal split among the CoFlow's unfinished flows at each sender port.
   // Shares are computed against the budget *before* this CoFlow consumes
@@ -21,7 +22,7 @@ double allocate_greedy_fair(CoflowState& c, Fabric& fabric) {
       if (f.finished() || f.src() != load.port) continue;
       const Rate r = std::min(share, fabric.recv_remaining(f.dst()));
       if (r <= 0) continue;
-      f.set_rate(f.rate() + r);
+      rates.set(c, f, f.rate() + r);
       fabric.consume(f.src(), f.dst(), r);
       granted += r;
     }
@@ -29,7 +30,8 @@ double allocate_greedy_fair(CoflowState& c, Fabric& fabric) {
   return granted;
 }
 
-bool allocate_madd(CoflowState& c, Fabric& fabric) {
+bool allocate_madd(CoflowState& c, Fabric& fabric, RateAssignment& rates) {
+  const SimTime now = rates.now();
   // Effective bottleneck Γ against remaining budgets: max over ports of
   // (remaining bytes the CoFlow must push through the port) / (budget).
   double gamma = 0;
@@ -41,7 +43,7 @@ bool allocate_madd(CoflowState& c, Fabric& fabric) {
       for (const auto& f : c.flows()) {
         if (f.finished()) continue;
         const PortIndex p = side == 0 ? f.src() : f.dst();
-        if (p == load.port) bytes += f.remaining();
+        if (p == load.port) bytes += f.remaining(now);
       }
       const Rate budget = side == 0 ? fabric.send_remaining(load.port)
                                     : fabric.recv_remaining(load.port);
@@ -56,11 +58,11 @@ bool allocate_madd(CoflowState& c, Fabric& fabric) {
 
   for (auto& f : c.flows()) {
     if (f.finished()) continue;
-    Rate r = f.remaining() / gamma;
+    Rate r = f.remaining(now) / gamma;
     r = std::min({r, fabric.send_remaining(f.src()),
                   fabric.recv_remaining(f.dst())});
     if (r <= 0) continue;
-    f.set_rate(f.rate() + r);
+    rates.set(c, f, f.rate() + r);
     fabric.consume(f.src(), f.dst(), r);
   }
   return true;

@@ -9,18 +9,23 @@
 // flow gets remaining_bytes / Γ so all of the CoFlow's flows finish together
 // at its effective bottleneck time Γ, computed against the ports' remaining
 // budgets.
+//
+// Both set rates through the RateAssignment view so the engine's completion
+// heap sees every touched flow.
 #pragma once
 
 #include "coflow/coflow.h"
 #include "fabric/fabric.h"
+#include "sim/rate_assignment.h"
 
 namespace saath {
 
 /// Allocates rates to c's unfinished flows; returns the total rate granted.
-double allocate_greedy_fair(CoflowState& c, Fabric& fabric);
+double allocate_greedy_fair(CoflowState& c, Fabric& fabric,
+                            RateAssignment& rates);
 
 /// MADD allocation. Returns false (allocating nothing) when some port the
 /// CoFlow needs has no remaining budget.
-bool allocate_madd(CoflowState& c, Fabric& fabric);
+bool allocate_madd(CoflowState& c, Fabric& fabric, RateAssignment& rates);
 
 }  // namespace saath

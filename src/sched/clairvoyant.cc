@@ -28,9 +28,7 @@ std::string ClairvoyantScheduler::name() const {
 
 void ClairvoyantScheduler::schedule(SimTime now,
                                     std::span<CoflowState* const> active,
-                                    Fabric& fabric) {
-  (void)now;
-  zero_rates(active);
+                                    Fabric& fabric, RateAssignment& rates) {
   std::vector<double> key(active.size(), 0.0);
   switch (policy_) {
     case ClairvoyantPolicy::kSCF:
@@ -40,7 +38,7 @@ void ClairvoyantScheduler::schedule(SimTime now,
       break;
     case ClairvoyantPolicy::kSRTF:
       for (std::size_t i = 0; i < active.size(); ++i) {
-        key[i] = active[i]->total_remaining();
+        key[i] = active[i]->total_remaining(now);
       }
       break;
     case ClairvoyantPolicy::kLWTF: {
@@ -50,14 +48,14 @@ void ClairvoyantScheduler::schedule(SimTime now,
       const auto k = compute_contention(active, fabric.num_ports());
       for (std::size_t i = 0; i < active.size(); ++i) {
         const double t_c =
-            active[i]->bottleneck_seconds(fabric.port_bandwidth());
+            active[i]->bottleneck_seconds(fabric.port_bandwidth(), now);
         key[i] = t_c * std::max(1, k[i]);
       }
       break;
     }
     case ClairvoyantPolicy::kSEBF:
       for (std::size_t i = 0; i < active.size(); ++i) {
-        key[i] = active[i]->bottleneck_seconds(fabric.port_bandwidth());
+        key[i] = active[i]->bottleneck_seconds(fabric.port_bandwidth(), now);
       }
       break;
   }
@@ -77,11 +75,11 @@ void ClairvoyantScheduler::schedule(SimTime now,
     // and backfilled greedily afterwards (work conservation).
     std::vector<CoflowState*> skipped;
     for (std::size_t i : order) {
-      if (!allocate_madd(*active[i], fabric)) skipped.push_back(active[i]);
+      if (!allocate_madd(*active[i], fabric, rates)) skipped.push_back(active[i]);
     }
-    for (CoflowState* c : skipped) allocate_greedy_fair(*c, fabric);
+    for (CoflowState* c : skipped) allocate_greedy_fair(*c, fabric, rates);
   } else {
-    for (std::size_t i : order) allocate_greedy_fair(*active[i], fabric);
+    for (std::size_t i : order) allocate_greedy_fair(*active[i], fabric, rates);
   }
 }
 

@@ -23,8 +23,9 @@ class ClairvoyantScheduler final : public Scheduler {
 
   [[nodiscard]] std::string name() const override;
 
+  using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override;
+                Fabric& fabric, RateAssignment& rates) override;
 
  private:
   ClairvoyantPolicy policy_;

@@ -53,7 +53,8 @@ std::string SaathScheduler::name() const {
   return n;
 }
 
-double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow) {
+double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow,
+                                                   SimTime now) {
   const auto finished = coflow.finished_flow_lengths();
   SAATH_EXPECTS(!finished.empty());
   const double f_e = median_of({finished.begin(), finished.end()});
@@ -62,7 +63,7 @@ double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow) {
   double m_c = 0;
   for (const auto& f : coflow.flows()) {
     if (f.finished()) continue;
-    m_c = std::max(m_c, std::max(0.0, f_e - f.sent()));
+    m_c = std::max(m_c, std::max(0.0, f_e - f.sent(now)));
   }
   return m_c;
 }
@@ -143,12 +144,12 @@ void SaathScheduler::assign_queues_and_deadlines(
       // §4.3: once some flows finished we can estimate remaining work
       // directly instead of relying on attained service; this may move the
       // CoFlow *up*, which the total-bytes rule can never do.
-      q = queues_.queue_for_max_flow_bytes(dynamics_remaining_estimate(*c),
+      q = queues_.queue_for_max_flow_bytes(dynamics_remaining_estimate(*c, now),
                                            c->width());
     } else if (config_.per_flow_threshold) {
-      q = queues_.queue_for_max_flow_bytes(c->max_flow_sent(), c->width());
+      q = queues_.queue_for_max_flow_bytes(c->max_flow_sent(now), c->width());
     } else {
-      q = queues_.queue_for_total_bytes(c->total_sent());
+      q = queues_.queue_for_total_bytes(c->total_sent(now));
     }
     const bool fresh = c->deadline == kNever && config_.deadline_factor > 0;
     if (q != c->queue_index || fresh) {
@@ -189,7 +190,8 @@ bool SaathScheduler::all_ports_available(const CoflowState& c,
   return true;
 }
 
-Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric) const {
+Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric,
+                                         RateAssignment& rates) const {
   // D2: max-min share at each port is budget / (c's flows there); the
   // CoFlow-wide rate is the minimum share — speeding any flow beyond the
   // slowest cannot improve the CCT.
@@ -207,18 +209,17 @@ Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric) const {
   SAATH_EXPECTS(std::isfinite(rate) && rate >= 0);
   for (auto& f : c.flows()) {
     if (f.finished()) continue;
-    f.set_rate(rate);
+    rates.set(c, f, rate);
     fabric.consume(f.src(), f.dst(), rate);
   }
   return rate;
 }
 
 void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
-                              Fabric& fabric) {
+                              Fabric& fabric, RateAssignment& rates) {
   ++stats_.rounds;
   const auto t0 = Clock::now();
 
-  zero_rates(active);
   assign_queues_and_deadlines(now, active, fabric.port_bandwidth());
 
   // LCoF ranks within a queue, so k_c counts same-queue competitors. The
@@ -288,11 +289,11 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
     if (!config_.all_or_none) {
       // Ablation escape hatch: partial (per-flow greedy) allocation, i.e.
       // the spatial coordination is switched off entirely.
-      allocate_greedy_fair(*e.c, fabric);
+      allocate_greedy_fair(*e.c, fabric, rates);
       continue;
     }
     if (all_ports_available(*e.c, fabric)) {
-      allocate_equal_rate(*e.c, fabric);
+      allocate_equal_rate(*e.c, fabric, rates);
     } else {
       missed.push_back(e.c);
     }
@@ -309,7 +310,7 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
         const Rate r = std::min(fabric.send_remaining(f.src()),
                                 fabric.recv_remaining(f.dst()));
         if (r <= Fabric::kRateEpsilon) continue;
-        f.set_rate(f.rate() + r);
+        rates.set(*c, f, f.rate() + r);
         fabric.consume(f.src(), f.dst(), r);
       }
     }
@@ -341,8 +342,10 @@ SimTime SaathScheduler::schedule_valid_until(
           queues_.hi_threshold(c->queue_index) / c->width();
       if (std::isfinite(bound)) {
         for (const auto& f : c->flows()) {
-          if (f.finished() || f.rate() <= 0 || f.sent() >= bound) continue;
-          cross_seconds = std::min(cross_seconds, (bound - f.sent()) / f.rate());
+          if (f.finished() || f.rate() <= 0) continue;
+          const double sent = f.sent(now);
+          if (sent >= bound) continue;
+          cross_seconds = std::min(cross_seconds, (bound - sent) / f.rate());
         }
       }
     } else {
@@ -353,7 +356,7 @@ SimTime SaathScheduler::schedule_valid_until(
           if (!f.finished()) total_rate += f.rate();
         }
         if (total_rate > 0) {
-          cross_seconds = (bound - c->total_sent()) / total_rate;
+          cross_seconds = (bound - c->total_sent(now)) / total_rate;
         }
       }
     }

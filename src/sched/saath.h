@@ -76,8 +76,9 @@ class SaathScheduler final : public Scheduler {
   [[nodiscard]] const SaathConfig& config() const { return config_; }
   [[nodiscard]] const SaathPhaseStats& phase_stats() const { return stats_; }
 
+  using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override;
+                Fabric& fabric, RateAssignment& rates) override;
 
   /// Port-occupancy (and hence contention) only changes on these events;
   /// each applies an O(delta) update to the spatial index instead of
@@ -102,9 +103,10 @@ class SaathScheduler final : public Scheduler {
   }
 
   /// Exposed for tests: the §4.3 remaining-work estimate m_c (median
-  /// finished length minus bytes sent, maxed over unfinished flows).
+  /// finished length minus bytes sent as of `now`, maxed over unfinished
+  /// flows).
   [[nodiscard]] static double dynamics_remaining_estimate(
-      const CoflowState& coflow);
+      const CoflowState& coflow, SimTime now);
 
  private:
   /// Re-buckets every CoFlow (Eq. 1 / total-bytes / §4.3 estimate),
@@ -117,7 +119,8 @@ class SaathScheduler final : public Scheduler {
                                          const Fabric& fabric) const;
   /// D2: one equal rate for every unfinished flow of c (min max-min share
   /// over its ports); consumes fabric budget. Returns the rate.
-  Rate allocate_equal_rate(CoflowState& c, Fabric& fabric) const;
+  Rate allocate_equal_rate(CoflowState& c, Fabric& fabric,
+                           RateAssignment& rates) const;
 
   /// True when the spatial index is the live LCoF source.
   [[nodiscard]] bool tracks_index() const {

@@ -7,16 +7,17 @@
 namespace saath {
 
 void UcTcpScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
-                              Fabric& fabric) {
+                              Fabric& fabric, RateAssignment& rates) {
   (void)now;
-  zero_rates(active);
   std::vector<MaxMinDemand> demands;
   std::vector<FlowState*> flows;
+  std::vector<CoflowState*> owners;
   for (CoflowState* c : active) {
     for (auto& f : c->flows()) {
       if (f.finished()) continue;
       demands.push_back({f.src(), f.dst(), /*cap=*/0});
       flows.push_back(&f);
+      owners.push_back(c);
     }
   }
 
@@ -27,13 +28,13 @@ void UcTcpScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
     recv_caps[static_cast<std::size_t>(p)] = fabric.recv_capacity(p);
   }
 
-  const auto rates = maxmin_fair_rates(demands, send_caps, recv_caps);
+  const auto fair = maxmin_fair_rates(demands, send_caps, recv_caps);
   for (std::size_t i = 0; i < flows.size(); ++i) {
     // Progressive filling can land a hair above the port budget through
     // floating-point accumulation; shave it so Fabric's contract holds.
-    const Rate r = std::min({rates[i], fabric.send_remaining(flows[i]->src()),
+    const Rate r = std::min({fair[i], fabric.send_remaining(flows[i]->src()),
                              fabric.recv_remaining(flows[i]->dst())});
-    flows[i]->set_rate(r);
+    rates.set(*owners[i], *flows[i], r);
     fabric.consume(flows[i]->src(), flows[i]->dst(), r);
   }
 }

@@ -13,8 +13,9 @@ class UcTcpScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "uc-tcp"; }
 
+  using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override;
+                Fabric& fabric, RateAssignment& rates) override;
 };
 
 }  // namespace saath

@@ -1,0 +1,85 @@
+// Min-heap of predicted flow completion instants with lazy invalidation.
+//
+// Every rate change pushes a fresh event stamped with the flow's rate
+// version; stale events (version mismatch, or the flow already finished)
+// are discarded when they surface at the top. Finding the next completion
+// and harvesting a batch is O(log F) per event instead of a scan over every
+// flow of every active CoFlow.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "coflow/coflow.h"
+
+namespace saath {
+
+class CompletionHeap {
+ public:
+  /// Queues the flow's current predicted finish. No-op (returns false)
+  /// when the flow is finished, cannot finish at its current rate, or this
+  /// rate version is already queued (the heap stamp — without it, every
+  /// quiescent reassignment would flood the heap with duplicate events).
+  bool push(FlowState* flow, CoflowState* coflow) {
+    if (flow->finished()) return false;
+    if (flow->heap_stamp() == flow->rate_version()) return false;
+    flow->set_heap_stamp(flow->rate_version());
+    const SimTime at = flow->predicted_finish();
+    if (at == kNever) return false;
+    heap_.push({at, flow->rate_version(), flow, coflow});
+    return true;
+  }
+
+  /// Earliest still-valid completion instant; kNever when none is queued.
+  [[nodiscard]] SimTime next_time() {
+    prune();
+    return heap_.empty() ? kNever : heap_.top().time;
+  }
+
+  /// Pops every valid event with time <= `at`, invoking fn(coflow, flow)
+  /// for each; events invalidated by fn's side effects (the completion
+  /// bumps the flow's rate version) are discarded on the way.
+  template <typename Fn>
+  void pop_due(SimTime at, Fn&& fn) {
+    for (;;) {
+      prune();
+      if (heap_.empty() || heap_.top().time > at) return;
+      const Event ev = heap_.top();
+      heap_.pop();
+      fn(*ev.coflow, *ev.flow);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  void clear() { heap_ = {}; }
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t version = 0;
+    FlowState* flow = nullptr;
+    CoflowState* coflow = nullptr;
+  };
+  struct Later {
+    // Min-heap on (time, flow id) — the id tie-break keeps pop order
+    // deterministic for same-instant completions.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return b.flow->id() < a.flow->id();
+    }
+  };
+
+  [[nodiscard]] static bool stale(const Event& ev) {
+    return ev.flow->finished() || ev.version != ev.flow->rate_version();
+  }
+
+  void prune() {
+    while (!heap_.empty() && stale(heap_.top())) heap_.pop();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace saath

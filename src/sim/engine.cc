@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -12,11 +13,24 @@
 
 namespace saath {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::int64_t ns_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+}  // namespace
+
 Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
     : trace_(std::move(trace)),
       scheduler_(scheduler),
       config_(config),
-      fabric_(trace_.num_ports, config.port_bandwidth) {
+      fabric_(trace_.num_ports, config.port_bandwidth),
+      rates_(trace_.num_ports) {
   SAATH_EXPECTS(config_.delta > 0);
   for (const auto& spec : trace_.coflows) pending_.push(spec);
   result_.scheduler = scheduler_.name();
@@ -25,11 +39,9 @@ Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
 
 void Engine::add_dynamics_event(DynamicsEvent event) {
   SAATH_EXPECTS(!running_);
+  // Consumed in time order, but sorted lazily once at run() start —
+  // re-sorting per insertion made bulk event setup quadratic.
   dynamics_.push_back(event);
-  std::stable_sort(dynamics_.begin(), dynamics_.end(),
-                   [](const DynamicsEvent& a, const DynamicsEvent& b) {
-                     return a.time < b.time;
-                   });
 }
 
 void Engine::set_data_available_at(CoflowId id, SimTime when) {
@@ -58,6 +70,9 @@ void Engine::admit_arrivals() {
       state->data_available = false;
     }
     active_.push_back(state.get());
+    // Zero-byte flows are born finished: their completion event exists
+    // before any rate assignment ever touches them.
+    push_completion_events(*state);
     scheduler_.on_coflow_arrival(*state, now_);
     all_coflows_.push_back(std::move(state));
     schedule_dirty_ = true;
@@ -81,8 +96,22 @@ void Engine::process_dynamics() {
     switch (ev.kind) {
       case DynamicsEvent::Kind::kNodeFailure:
         for (CoflowState* c : active_) {
-          if (c->restart_flows_on_port(ev.port) > 0) {
+          // The restart zeroes rates behind the RateAssignment's back; pull
+          // the dying flows out of the port accumulators first.
+          for (const auto& f : c->flows()) {
+            if (!f.finished() && f.rate() > 0 &&
+                (f.src() == ev.port || f.dst() == ev.port)) {
+              rates_.flow_stopped(f);
+            }
+          }
+          if (c->restart_flows_on_port(ev.port, now_) > 0) {
             c->dynamics_flagged = true;
+            // The restart invalidated the flows' queued events. Normal
+            // flows re-enter the heap when a schedule rates them again,
+            // but a zero-byte flow keeps a valid finish instant with no
+            // rate — re-push or it only completes once re-rated (the
+            // oracle scan would complete it immediately).
+            push_completion_events(*c);
           }
         }
         SAATH_LOG_INFO("t=%.3fs node failure at port %d", to_seconds(now_),
@@ -107,46 +136,48 @@ void Engine::process_dynamics() {
 }
 
 void Engine::compute_schedule() {
+  const auto t0 = Clock::now();
   ++rounds_;
   fabric_.reset();
-  // Zero everything first so schedulers only need to touch flows they admit.
-  for (CoflowState* c : active_) {
-    for (auto& f : c->flows()) f.set_rate(0);
-  }
-  scheduler_.schedule(now_, active_, fabric_);
+  // begin_epoch zeroes exactly the flows the previous epoch rated — the
+  // old O(all flows) blank-slate loop is gone.
+  rates_.begin_epoch(now_);
+  scheduler_.schedule(now_, active_, fabric_, rates_);
   // §4.3 un-availability: a schedule handed to a CoFlow whose data is not
   // ready wastes the slot — the rates are nullified but the port budget the
   // scheduler spent is NOT refunded.
   for (CoflowState* c : active_) {
-    if (c->data_available) continue;
-    for (auto& f : c->flows()) f.set_rate(0);
+    if (!c->data_available) rates_.nullify(*c);
   }
   if (config_.check_capacity) verify_capacity();
+  if (config_.event_driven) {
+    for (const auto& touch : rates_.touched()) {
+      if (heap_.push(touch.flow, touch.coflow)) ++stats_.heap_pushes;
+    }
+  }
   schedule_dirty_ = false;
   schedule_valid_until_ = scheduler_.schedule_valid_until(now_, active_);
   scheduled_capacity_version_ = fabric_.capacity_version();
+  stats_.schedule_ns += ns_since(t0);
 }
 
 void Engine::verify_capacity() const {
-  std::vector<Rate> send(static_cast<std::size_t>(fabric_.num_ports()), 0.0);
-  std::vector<Rate> recv(static_cast<std::size_t>(fabric_.num_ports()), 0.0);
-  for (const CoflowState* c : active_) {
-    for (const auto& f : c->flows()) {
-      if (f.finished()) continue;
-      SAATH_EXPECTS(f.rate() >= 0);
-      send[static_cast<std::size_t>(f.src())] += f.rate();
-      recv[static_cast<std::size_t>(f.dst())] += f.rate();
-    }
-  }
+  // O(ports): the RateAssignment maintained the per-port sums as deltas.
+  // The accumulators carry floating-point residue from the +=/-= stream, so
+  // the "no negative allocation" sanity bound is relative to the bandwidth.
+  const Rate residue = fabric_.port_bandwidth() * 1e-6 + Fabric::kRateEpsilon;
   for (PortIndex p = 0; p < fabric_.num_ports(); ++p) {
+    const Rate send = rates_.send_allocated(p);
+    const Rate recv = rates_.recv_allocated(p);
+    SAATH_EXPECTS(send >= -residue);
+    SAATH_EXPECTS(recv >= -residue);
     const Rate cap_s = fabric_.send_capacity(p) * (1.0 + 1e-6) + 1e-6;
     const Rate cap_r = fabric_.recv_capacity(p) * (1.0 + 1e-6) + 1e-6;
-    const bool over_send = send[static_cast<std::size_t>(p)] > cap_s;
-    const bool over_recv = recv[static_cast<std::size_t>(p)] > cap_r;
+    const bool over_send = send > cap_s;
+    const bool over_recv = recv > cap_r;
     if (over_send || over_recv) {
       const char* dir = over_send ? "sender uplink" : "receiver downlink";
-      const Rate allocated = over_send ? send[static_cast<std::size_t>(p)]
-                                       : recv[static_cast<std::size_t>(p)];
+      const Rate allocated = over_send ? send : recv;
       const Rate cap =
           over_send ? fabric_.send_capacity(p) : fabric_.recv_capacity(p);
       throw std::logic_error(
@@ -156,26 +187,94 @@ void Engine::verify_capacity() const {
           std::to_string(cap) + " B/s capacity");
     }
   }
+#ifndef NDEBUG
+  // Assertion builds cross-check the accumulators against a fresh scan —
+  // this is what catches a scheduler mutating rates behind the view's back.
+  std::vector<Rate> send(static_cast<std::size_t>(fabric_.num_ports()), 0.0);
+  std::vector<Rate> recv(static_cast<std::size_t>(fabric_.num_ports()), 0.0);
+  for (const CoflowState* c : active_) {
+    for (const auto& f : c->flows()) {
+      if (f.finished()) continue;
+      send[static_cast<std::size_t>(f.src())] += f.rate();
+      recv[static_cast<std::size_t>(f.dst())] += f.rate();
+    }
+  }
+  const Rate tol =
+      std::max(1.0, fabric_.port_bandwidth()) * 1e-6 + Fabric::kRateEpsilon;
+  for (PortIndex p = 0; p < fabric_.num_ports(); ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    SAATH_ENSURES(std::abs(send[i] - rates_.send_allocated(p)) <= tol);
+    SAATH_ENSURES(std::abs(recv[i] - rates_.recv_allocated(p)) <= tol);
+  }
+#endif
+}
+
+void Engine::push_completion_events(CoflowState& coflow) {
+  if (!config_.event_driven) return;
+  for (auto& f : coflow.flows()) {
+    if (!f.finished() && f.predicted_finish() != kNever &&
+        heap_.push(&f, &coflow)) {
+      ++stats_.heap_pushes;
+    }
+  }
+}
+
+SimTime Engine::next_completion() {
+  if (config_.event_driven) return heap_.next_time();
+  // Oracle: scan every flow of every active CoFlow for the earliest
+  // predicted finish — the pre-heap behavior, O(F) per micro-step.
+  SimTime best = kNever;
+  for (const CoflowState* c : active_) {
+    for (const auto& f : c->flows()) {
+      if (f.finished()) continue;
+      const SimTime at = f.predicted_finish();
+      if (at == kNever) continue;
+      if (best == kNever || at < best) best = at;
+    }
+  }
+  return best;
+}
+
+void Engine::complete_flow(CoflowState& coflow, FlowState& flow, SimTime at) {
+  rates_.flow_stopped(flow);
+  coflow.on_flow_complete(flow, at);
+  scheduler_.on_flow_complete(coflow, flow, at);
+  schedule_dirty_ = true;
+  ++stats_.flow_completions;
 }
 
 void Engine::harvest_completions(SimTime at) {
-  for (std::size_t i = 0; i < active_.size();) {
-    CoflowState* c = active_[i];
-    for (auto& f : c->flows()) {
-      if (!f.finished() && f.remaining() <= 0) {
-        c->on_flow_complete(f, at);
-        scheduler_.on_flow_complete(*c, f, at);
-        schedule_dirty_ = true;
+  bool any = false;
+  if (config_.event_driven) {
+    heap_.pop_due(at, [&](CoflowState& c, FlowState& f) {
+      complete_flow(c, f, at);
+      any = true;
+    });
+  } else {
+    for (CoflowState* c : active_) {
+      for (auto& f : c->flows()) {
+        if (f.finished()) continue;
+        const SimTime pf = f.predicted_finish();
+        if (pf != kNever && pf <= at) {
+          complete_flow(*c, f, at);
+          any = true;
+        }
       }
     }
-    if (c->finished()) {
-      finalize_coflow(*c, at);
-      active_[i] = active_.back();
-      active_.pop_back();
+  }
+  if (!any) return;
+  // Finalize finished CoFlows with a stable compaction: the active list
+  // keeps admission order in both modes, so every order-sensitive consumer
+  // (and the oracle's own scan order) stays mode-independent.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (active_[r]->finished()) {
+      finalize_coflow(*active_[r], at);
     } else {
-      ++i;
+      active_[w++] = active_[r];
     }
   }
+  active_.resize(w);
 }
 
 void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
@@ -202,38 +301,36 @@ void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
 }
 
 void Engine::advance_until(SimTime epoch_end) {
+  auto t0 = Clock::now();
   SimTime t = now_;
-  while (t < epoch_end && !active_.empty()) {
-    // Earliest completion at current rates.
-    double min_seconds = std::numeric_limits<double>::infinity();
-    for (const CoflowState* c : active_) {
-      for (const auto& f : c->flows()) {
-        if (f.finished() || f.rate() <= 0) continue;
-        min_seconds = std::min(min_seconds, f.seconds_to_finish());
-      }
+  while (!active_.empty()) {
+    const SimTime next = next_completion();
+    if (next == kNever || next > epoch_end) {
+      t = epoch_end;
+      break;
     }
-    SimTime target = epoch_end;
-    if (std::isfinite(min_seconds)) {
-      const auto dt = std::max<SimTime>(
-          1, static_cast<SimTime>(std::ceil(min_seconds * 1e6)));
-      target = std::min(epoch_end, t + dt);
-    }
-    for (CoflowState* c : active_) c->advance_all(target - t);
-    t = target;
+    t = std::max(t, next);
     const auto active_before = active_.size();
     harvest_completions(t);
     if (config_.reallocate_on_completion && active_.size() != active_before &&
         !active_.empty() && t < epoch_end) {
       now_ = t;
+      stats_.advance_ns += ns_since(t0);
       compute_schedule();
+      t0 = Clock::now();
     }
   }
   now_ = std::max(t, now_);
+  stats_.advance_ns += ns_since(t0);
 }
 
 SimResult Engine::run() {
   SAATH_EXPECTS(!running_);
   running_ = true;
+  std::stable_sort(dynamics_.begin(), dynamics_.end(),
+                   [](const DynamicsEvent& a, const DynamicsEvent& b) {
+                     return a.time < b.time;
+                   });
   while (!pending_.empty() || !active_.empty()) {
     if (now_ > config_.max_sim_time) {
       // Name the stuck work: without the ids and the epoch, a starvation

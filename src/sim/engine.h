@@ -8,6 +8,14 @@
 // the paper's coordinator semantics, freed bandwidth is NOT re-allocated
 // until the next epoch unless `reallocate_on_completion` is set — this is
 // what makes the δ-sensitivity experiment (Fig 14c) meaningful.
+//
+// The advance phase is event-driven: flow progress is lazy (closed-form in
+// FlowState, nothing is mutated per micro-step), the next completion comes
+// from a min-heap of predicted finish instants with lazy invalidation, and
+// capacity verification reads per-port accumulators maintained from the
+// epoch's touched-flow set. `SimConfig::event_driven = false` swaps the
+// heap for the original full-scan oracle — same lazy arithmetic, O(flows)
+// per completion — which the property suite holds bit-identical.
 #pragma once
 
 #include <functional>
@@ -16,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/completion_heap.h"
+#include "sim/rate_assignment.h"
 #include "sim/result.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
@@ -38,6 +48,12 @@ struct SimConfig {
   /// over unchanged inputs would produce — results are bit-identical, the
   /// coordinator just stops burning cycles on quiescent epochs.
   bool skip_quiescent_epochs = true;
+  /// Find/harvest completions through the completion heap (O(log F) per
+  /// event). false = the scan-based oracle: every micro-step searches all
+  /// flows of all active CoFlows, the pre-event-core behavior. Both modes
+  /// produce bit-identical SimResults; the oracle exists as the reference
+  /// the property suite diffs against.
+  bool event_driven = true;
   /// Runaway guard: the run throws if simulated time passes this.
   SimTime max_sim_time = seconds(500'000);
 };
@@ -57,6 +73,15 @@ struct DynamicsEvent {
   Kind kind = Kind::kNodeFailure;
   PortIndex port = kInvalidPort;
   double capacity_factor = 1.0;
+};
+
+/// Wall-clock phase costs and event counts of one run, for the
+/// bench/engine_core perf trajectory.
+struct EngineStats {
+  std::int64_t schedule_ns = 0;  // compute_schedule (incl. scheduler time)
+  std::int64_t advance_ns = 0;   // advance_until (completion resolution)
+  std::int64_t flow_completions = 0;
+  std::int64_t heap_pushes = 0;
 };
 
 class Engine {
@@ -83,6 +108,7 @@ class Engine {
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] int scheduling_rounds() const { return rounds_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
  private:
   void admit_arrivals();
@@ -91,13 +117,27 @@ class Engine {
   void verify_capacity() const;
   /// Advances the fluid model to `epoch_end`, resolving completions exactly.
   void advance_until(SimTime epoch_end);
+  /// Earliest predicted completion instant (heap or oracle scan); kNever
+  /// when no flow can finish at current rates.
+  [[nodiscard]] SimTime next_completion();
+  /// Completes every flow predicted at or before `at`, then finalizes
+  /// CoFlows that finished (stable compaction of the active list — both
+  /// modes see the same ordering).
   void harvest_completions(SimTime at);
+  void complete_flow(CoflowState& coflow, FlowState& flow, SimTime at);
   void finalize_coflow(CoflowState& coflow, SimTime at);
+  /// Queues completion events for every unfinished flow of `coflow` with a
+  /// valid predicted finish (admission, post-restart); event mode only.
+  void push_completion_events(CoflowState& coflow);
 
   trace::Trace trace_;
   Scheduler& scheduler_;
   SimConfig config_;
   Fabric fabric_;
+  /// The one gateway for rate changes: records touched flows for the
+  /// completion heap and keeps the per-port allocation accumulators.
+  RateAssignment rates_;
+  CompletionHeap heap_;
 
   struct ArrivalLater {
     bool operator()(const CoflowSpec& a, const CoflowSpec& b) const {
@@ -108,12 +148,14 @@ class Engine {
   std::priority_queue<CoflowSpec, std::vector<CoflowSpec>, ArrivalLater> pending_;
   std::vector<std::unique_ptr<CoflowState>> all_coflows_;
   std::vector<CoflowState*> active_;
-  std::vector<DynamicsEvent> dynamics_;  // sorted by time, consumed in order
+  /// Appended freely pre-run; sorted by time once at run() start.
+  std::vector<DynamicsEvent> dynamics_;
   std::size_t next_dynamics_ = 0;
   std::unordered_map<CoflowId, SimTime> data_available_at_;
   CompletionCallback completion_callback_;
 
   SimResult result_;
+  EngineStats stats_;
   SimTime now_ = 0;
   int rounds_ = 0;
   /// Delta tracking for the quiescent-epoch skip: any state change since

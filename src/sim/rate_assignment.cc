@@ -1,0 +1,66 @@
+#include "sim/rate_assignment.h"
+
+#include <atomic>
+
+#include "common/expect.h"
+
+namespace saath {
+
+namespace {
+
+/// Touch stamps must be unique across *all* RateAssignment instances: the
+/// testbed runs a scratch view over the same flows the engine's view owns,
+/// and a per-instance counter could collide and silently drop touches.
+std::atomic<std::uint64_t> g_epoch_counter{0};
+
+}  // namespace
+
+RateAssignment::RateAssignment(int num_ports)
+    : send_alloc_(static_cast<std::size_t>(num_ports), 0.0),
+      recv_alloc_(static_cast<std::size_t>(num_ports), 0.0) {
+  SAATH_EXPECTS(num_ports >= 0);
+}
+
+void RateAssignment::begin_epoch(SimTime now) {
+  now_ = now;
+  epoch_stamp_ = ++g_epoch_counter;
+  for (const Touch& t : touched_) {
+    if (t.flow->finished() || t.flow->rate() == 0) continue;
+    apply_delta(*t.flow, 0);
+    t.flow->set_rate(0, now_);
+  }
+  touched_.clear();
+}
+
+void RateAssignment::apply_delta(const FlowState& flow, Rate new_rate) {
+  if (send_alloc_.empty()) return;
+  send_alloc_[static_cast<std::size_t>(flow.src())] += new_rate - flow.rate();
+  recv_alloc_[static_cast<std::size_t>(flow.dst())] += new_rate - flow.rate();
+}
+
+void RateAssignment::track(CoflowState& coflow, FlowState& flow) {
+  if (flow.touch_stamp() == epoch_stamp_) return;
+  flow.set_touch_stamp(epoch_stamp_);
+  touched_.push_back({&coflow, &flow});
+}
+
+void RateAssignment::set(CoflowState& coflow, FlowState& flow, Rate r) {
+  SAATH_EXPECTS(r >= 0);
+  if (flow.finished()) return;
+  apply_delta(flow, r);
+  track(coflow, flow);
+  flow.set_rate(r, now_);
+}
+
+void RateAssignment::nullify(CoflowState& coflow) {
+  for (auto& f : coflow.flows()) {
+    if (!f.finished() && f.rate() != 0) set(coflow, f, 0);
+  }
+}
+
+void RateAssignment::flow_stopped(const FlowState& flow) {
+  if (flow.finished()) return;
+  apply_delta(flow, 0);
+}
+
+}  // namespace saath

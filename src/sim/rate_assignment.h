@@ -1,0 +1,76 @@
+// The single gateway through which schedulers set flow rates.
+//
+// The event-driven core needs to know exactly which flows changed rate each
+// epoch: touched flows get fresh completion events, untouched flows keep
+// their predicted finish instants, and nothing is ever scanned wholesale.
+// RateAssignment records that touched set, performs the lazy-progress folds
+// (FlowState::set_rate at the epoch's timestamp), and maintains per-port
+// allocated-rate accumulators so capacity verification is O(ports) instead
+// of O(flows).
+//
+// begin_epoch() zeroes only the flows the *previous* epoch rated — the old
+// "zero every flow of every active CoFlow" loop is gone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coflow/coflow.h"
+
+namespace saath {
+
+class RateAssignment {
+ public:
+  /// `num_ports` > 0 enables the per-port allocated-rate accumulators
+  /// (engine use); scratch views (tests, the testbed's tentative pass) can
+  /// skip them.
+  RateAssignment() = default;
+  explicit RateAssignment(int num_ports);
+
+  /// Starts a new assignment epoch at `now`: folds + zeroes every flow left
+  /// rated by the previous epoch — O(previously rated) — and clears the
+  /// touched set. Also used to discard a tentative assignment (testbed).
+  void begin_epoch(SimTime now);
+
+  /// Timestamp rate changes are folded at.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Sets `flow`'s rate for this epoch and records the touch.
+  void set(CoflowState& coflow, FlowState& flow, Rate r);
+
+  /// Zeroes every rated unfinished flow of `coflow` (§4.3 data
+  /// un-availability: the slot is wasted, the port budget is not refunded).
+  void nullify(CoflowState& coflow);
+
+  struct Touch {
+    CoflowState* coflow = nullptr;
+    FlowState* flow = nullptr;
+  };
+  /// Flows whose rate was set this epoch, deduplicated; the engine refreshes
+  /// the completion heap from exactly this set.
+  [[nodiscard]] std::span<const Touch> touched() const { return touched_; }
+
+  /// Per-port allocated rate (only with num_ports > 0). Kept incrementally
+  /// across epochs: set() applies deltas, flow_stopped() removes a flow
+  /// that stops sending outside an epoch (completion, failure restart).
+  [[nodiscard]] Rate send_allocated(PortIndex p) const {
+    return send_alloc_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] Rate recv_allocated(PortIndex p) const {
+    return recv_alloc_[static_cast<std::size_t>(p)];
+  }
+  /// Call *before* the flow's rate is zeroed by complete()/restart().
+  void flow_stopped(const FlowState& flow);
+
+ private:
+  void track(CoflowState& coflow, FlowState& flow);
+  void apply_delta(const FlowState& flow, Rate new_rate);
+
+  SimTime now_ = 0;
+  std::uint64_t epoch_stamp_ = 0;  // globally unique per begin_epoch
+  std::vector<Touch> touched_;
+  std::vector<Rate> send_alloc_;
+  std::vector<Rate> recv_alloc_;
+};
+
+}  // namespace saath

@@ -1,9 +1,17 @@
 // Scheduler interface the simulation engine drives.
 //
 // Once per scheduling epoch (every δ, §4.1) the engine hands the scheduler
-// the set of active CoFlows and a Fabric whose budgets have been reset; the
-// scheduler must assign a rate to every unfinished flow (0 is allowed) while
-// respecting port budgets via Fabric::consume.
+// the set of active CoFlows, a Fabric whose budgets have been reset, and a
+// RateAssignment view; the scheduler assigns rates through the view (0 is
+// allowed) while respecting port budgets via Fabric::consume. The view is
+// what makes the event-driven core work: it records exactly which flows
+// changed rate, so the engine refreshes completion events for those flows
+// only — there is no per-epoch zeroing loop and no wholesale rescan.
+//
+// All flows start each epoch at rate 0: the engine's RateAssignment zeroes
+// the previous epoch's rated flows in begin_epoch(), and the convenience
+// overload below gives direct drivers (unit tests, benchmarks) the same
+// blank slate.
 #pragma once
 
 #include <span>
@@ -11,17 +19,9 @@
 
 #include "coflow/coflow.h"
 #include "fabric/fabric.h"
+#include "sim/rate_assignment.h"
 
 namespace saath {
-
-/// Clears every unfinished flow's rate. Schedulers call this first so each
-/// epoch's assignment starts from a blank slate even when invoked outside
-/// the engine (unit tests, the testbed decorator).
-inline void zero_rates(std::span<CoflowState* const> active) {
-  for (CoflowState* c : active) {
-    for (auto& f : c->flows()) f.set_rate(0);
-  }
-}
 
 class Scheduler {
  public:
@@ -29,9 +29,25 @@ class Scheduler {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Computes the rate assignment for this epoch.
+  /// Computes the rate assignment for this epoch through `rates`.
   virtual void schedule(SimTime now, std::span<CoflowState* const> active,
-                        Fabric& fabric) = 0;
+                        Fabric& fabric, RateAssignment& rates) = 0;
+
+  /// Convenience for direct drivers (tests, benchmarks) without an engine:
+  /// zeroes every flow's rate at `now` (blank slate) and runs the epoch
+  /// against a scratch RateAssignment. Derived classes re-export it with
+  /// `using Scheduler::schedule;`.
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric) {
+    RateAssignment scratch;
+    scratch.begin_epoch(now);
+    for (CoflowState* c : active) {
+      for (auto& f : c->flows()) {
+        if (!f.finished()) f.set_rate(0, now);
+      }
+    }
+    schedule(now, active, fabric, scratch);
+  }
 
   /// How long the assignment just computed stays valid if NO delta (arrival,
   /// flow/CoFlow completion, dynamics event, data-availability flip,

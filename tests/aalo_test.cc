@@ -34,10 +34,9 @@ TEST(Aalo, HigherQueueStrictlyFirst) {
   set.add(make_coflow(1, seconds(5), {{0, 2, 1000}}));
   // Push C0 beyond the 10MB Q0 threshold.
   auto& f = set.at(0).flows()[0];
-  f.set_rate(20e6);
-  set.at(0).advance_all(seconds(1));
-  ASSERT_GT(set.at(0).total_sent(), 10e6);
-  f.set_rate(0);
+  f.set_rate(20e6, 0);
+  ASSERT_GT(set.at(0).total_sent(seconds(1)), 10e6);
+  f.set_rate(0, seconds(1));
 
   AaloScheduler sched;
   Fabric fabric(3, 100.0);

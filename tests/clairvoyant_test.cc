@@ -39,16 +39,13 @@ TEST(Scf, StaticSizeEvenAfterProgress) {
   testing::StateSet set;
   set.add(make_coflow(0, 0, {{0, 1, 5000}}));
   set.add(make_coflow(1, usec(1), {{0, 2, 1000}}));
-  set.at(0).flows()[0].set_rate(4950.0);
-  set.at(0).advance_all(seconds(1));  // remaining 50 < 1000
+  set.at(0).flows()[0].set_rate(4950.0, 0);  // by 1 s: remaining 50 < 1000
 
   ClairvoyantScheduler scf(ClairvoyantPolicy::kSCF);
   Fabric f1(3, 100.0);
   scf.schedule(seconds(1), set.active(), f1);
   EXPECT_DOUBLE_EQ(set.at(1).flows()[0].rate(), 100.0);
 
-  for (auto& fl : set.at(0).flows()) fl.set_rate(0);
-  for (auto& fl : set.at(1).flows()) fl.set_rate(0);
   ClairvoyantScheduler srtf(ClairvoyantPolicy::kSRTF);
   Fabric f2(3, 100.0);
   srtf.schedule(seconds(1), set.active(), f2);
@@ -74,9 +71,6 @@ TEST(Lwtf, ContentionWeightsDuration) {
 
   // SCF does the opposite: C1 (1000 total) before... no — C1 total = 1000,
   // C2 = 600: SCF picks C2 first, then C1 blocks C3? Verify C1 beats C3.
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    for (auto& fl : set.at(i).flows()) fl.set_rate(0);
-  }
   ClairvoyantScheduler scf(ClairvoyantPolicy::kSCF);
   Fabric f2(6, 100.0);
   scf.schedule(0, set.active(), f2);

@@ -23,28 +23,36 @@ TEST(CoflowSpec, Aggregates) {
   EXPECT_EQ(c.max_flow_bytes(), 300);
 }
 
-TEST(FlowState, AdvancesAtRate) {
+TEST(FlowState, LazyProgressAtRate) {
   FlowState f(FlowId{0}, FlowSpec{0, 1, 1000});
-  f.set_rate(100.0);  // bytes/sec
-  f.advance(seconds(3));
-  EXPECT_DOUBLE_EQ(f.sent(), 300.0);
-  EXPECT_DOUBLE_EQ(f.remaining(), 700.0);
-  EXPECT_DOUBLE_EQ(f.seconds_to_finish(), 7.0);
+  f.set_rate(100.0, 0);  // bytes/sec
+  EXPECT_DOUBLE_EQ(f.sent(seconds(3)), 300.0);
+  EXPECT_DOUBLE_EQ(f.remaining(seconds(3)), 700.0);
+  EXPECT_EQ(f.predicted_finish(), seconds(10));
 }
 
-TEST(FlowState, AdvanceClampsAtSize) {
+TEST(FlowState, ProgressClampsAtSize) {
   FlowState f(FlowId{0}, FlowSpec{0, 1, 100});
-  f.set_rate(100.0);
-  f.advance(seconds(5));
-  EXPECT_DOUBLE_EQ(f.sent(), 100.0);
-  EXPECT_DOUBLE_EQ(f.remaining(), 0.0);
+  f.set_rate(100.0, 0);
+  EXPECT_DOUBLE_EQ(f.sent(seconds(5)), 100.0);
+  EXPECT_DOUBLE_EQ(f.remaining(seconds(5)), 0.0);
 }
 
 TEST(FlowState, ZeroRateNeverFinishes) {
   FlowState f(FlowId{0}, FlowSpec{0, 1, 100});
-  f.advance(seconds(1000));
-  EXPECT_DOUBLE_EQ(f.sent(), 0.0);
-  EXPECT_TRUE(std::isinf(f.seconds_to_finish()));
+  EXPECT_DOUBLE_EQ(f.sent(seconds(1000)), 0.0);
+  EXPECT_EQ(f.predicted_finish(), kNever);
+}
+
+TEST(FlowState, RateChangeFoldsProgressAndBumpsVersion) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 1000});
+  f.set_rate(100.0, 0);
+  const auto v1 = f.rate_version();
+  f.set_rate(50.0, seconds(4));  // 400 sent; 600 left at 50 B/s -> 12 s more
+  EXPECT_GT(f.rate_version(), v1);
+  EXPECT_DOUBLE_EQ(f.sent(seconds(4)), 400.0);
+  EXPECT_DOUBLE_EQ(f.sent(seconds(6)), 500.0);
+  EXPECT_EQ(f.predicted_finish(), seconds(16));
 }
 
 TEST(FlowState, CompleteStampsTime) {
@@ -52,18 +60,23 @@ TEST(FlowState, CompleteStampsTime) {
   f.complete(msec(1500));
   EXPECT_TRUE(f.finished());
   EXPECT_EQ(f.finish_time(), msec(1500));
-  EXPECT_DOUBLE_EQ(f.sent(), 100.0);
+  EXPECT_DOUBLE_EQ(f.sent(msec(1500)), 100.0);
   EXPECT_DOUBLE_EQ(f.rate(), 0.0);
 }
 
 TEST(FlowState, RestartDiscardsProgress) {
   FlowState f(FlowId{0}, FlowSpec{0, 1, 1000});
-  f.set_rate(100.0);
-  f.advance(seconds(4));
-  EXPECT_DOUBLE_EQ(f.restart(), 400.0);
-  EXPECT_DOUBLE_EQ(f.sent(), 0.0);
+  f.set_rate(100.0, 0);
+  EXPECT_DOUBLE_EQ(f.restart(seconds(4)), 400.0);
+  EXPECT_DOUBLE_EQ(f.sent(seconds(4)), 0.0);
   EXPECT_DOUBLE_EQ(f.rate(), 0.0);
+  EXPECT_EQ(f.predicted_finish(), kNever);
   EXPECT_FALSE(f.finished());
+}
+
+TEST(FlowState, ZeroByteFlowPredictedAtOrigin) {
+  FlowState f(FlowId{0}, FlowSpec{0, 1, 0}, seconds(2));
+  EXPECT_EQ(f.predicted_finish(), seconds(2));
 }
 
 TEST(CoflowState, PortLoadsCountFlows) {
@@ -74,20 +87,18 @@ TEST(CoflowState, PortLoadsCountFlows) {
   for (const auto& l : c.receiver_loads()) EXPECT_EQ(l.unfinished_flows, 2);
 }
 
-TEST(CoflowState, TotalSentTracksAdvance) {
+TEST(CoflowState, TotalSentTracksLazyProgress) {
   CoflowState c(two_by_two(), FlowId{0});
-  for (auto& f : c.flows()) f.set_rate(10.0);
-  c.advance_all(seconds(2));
-  EXPECT_DOUBLE_EQ(c.total_sent(), 80.0);  // 4 flows x 20 bytes
-  EXPECT_DOUBLE_EQ(c.max_flow_sent(), 20.0);
-  EXPECT_DOUBLE_EQ(c.total_remaining(), 320.0);
+  for (auto& f : c.flows()) f.set_rate(10.0, 0);
+  EXPECT_DOUBLE_EQ(c.total_sent(seconds(2)), 80.0);  // 4 flows x 20 bytes
+  EXPECT_DOUBLE_EQ(c.max_flow_sent(seconds(2)), 20.0);
+  EXPECT_DOUBLE_EQ(c.total_remaining(seconds(2)), 320.0);
 }
 
 TEST(CoflowState, FlowCompletionUpdatesLoads) {
   CoflowState c(two_by_two(), FlowId{0});
   auto& f0 = c.flows()[0];  // 0 -> 2
-  f0.set_rate(100.0);
-  c.advance_all(seconds(1));
+  f0.set_rate(100.0, 0);
   c.on_flow_complete(f0, seconds(1));
   EXPECT_EQ(c.unfinished_flows(), 3);
   EXPECT_FALSE(c.finished());
@@ -114,22 +125,39 @@ TEST(CoflowState, BottleneckSeconds) {
   // Port 0 must push 200 bytes, port 1 only 100; at 100 B/s the bottleneck
   // is 2 seconds.
   CoflowState c(make_coflow(1, 0, {{0, 1, 100}, {0, 2, 100}}), FlowId{0});
-  EXPECT_DOUBLE_EQ(c.bottleneck_seconds(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.bottleneck_seconds(100.0, 0), 2.0);
 }
 
 TEST(CoflowState, BottleneckOnReceiverSide) {
   CoflowState c(make_coflow(1, 0, {{0, 2, 100}, {1, 2, 200}}), FlowId{0});
-  EXPECT_DOUBLE_EQ(c.bottleneck_seconds(100.0), 3.0);  // receiver 2: 300 bytes
+  EXPECT_DOUBLE_EQ(c.bottleneck_seconds(100.0, 0), 3.0);  // receiver 2: 300 bytes
 }
 
 TEST(CoflowState, RestartFlowsOnPort) {
   CoflowState c(two_by_two(), FlowId{0});
-  for (auto& f : c.flows()) f.set_rate(10.0);
-  c.advance_all(seconds(1));
-  EXPECT_DOUBLE_EQ(c.total_sent(), 40.0);
-  const int restarted = c.restart_flows_on_port(0);
+  for (auto& f : c.flows()) f.set_rate(10.0, 0);
+  EXPECT_DOUBLE_EQ(c.total_sent(seconds(1)), 40.0);
+  const int restarted = c.restart_flows_on_port(0, seconds(1));
   EXPECT_EQ(restarted, 2);  // the two flows sent from port 0
-  EXPECT_DOUBLE_EQ(c.total_sent(), 20.0);
+  EXPECT_DOUBLE_EQ(c.total_sent(seconds(1)), 20.0);
+}
+
+TEST(CoflowState, PortLoadLookupOnWideCoflow) {
+  // A wide mesh: the sorted slot index must answer per-port lookups for
+  // every port the CoFlow touches, and 0 for ports it does not.
+  CoflowSpec spec;
+  spec.id = CoflowId{7};
+  for (PortIndex m = 20; m > 0; --m) {
+    for (PortIndex r = 0; r < 5; ++r) {
+      spec.flows.push_back({m, static_cast<PortIndex>(30 + r), 10});
+    }
+  }
+  CoflowState c(spec, FlowId{0});
+  for (PortIndex m = 1; m <= 20; ++m) EXPECT_EQ(c.unfinished_on_sender(m), 5);
+  for (PortIndex r = 30; r < 35; ++r) EXPECT_EQ(c.unfinished_on_receiver(r), 20);
+  EXPECT_EQ(c.unfinished_on_sender(0), 0);
+  EXPECT_EQ(c.unfinished_on_sender(99), 0);
+  EXPECT_EQ(c.unfinished_on_receiver(1), 0);
 }
 
 TEST(JobSpec, ValidateRejectsForwardDeps) {

@@ -201,7 +201,8 @@ TEST(Engine, ThrowsOnStarvingScheduler) {
   class NullScheduler final : public Scheduler {
    public:
     std::string name() const override { return "null"; }
-    void schedule(SimTime, std::span<CoflowState* const>, Fabric&) override {}
+    void schedule(SimTime, std::span<CoflowState* const>, Fabric&,
+                  RateAssignment&) override {}
   };
   auto t = make_trace(2, {make_coflow(0, 0, {{0, 1, 100}})});
   NullScheduler sched;
@@ -216,10 +217,10 @@ TEST(Engine, OverdrawingSchedulerDetected) {
    public:
     std::string name() const override { return "overdraw"; }
     void schedule(SimTime, std::span<CoflowState* const> active,
-                  Fabric& fabric) override {
+                  Fabric& fabric, RateAssignment& rates) override {
       for (CoflowState* c : active) {
         for (auto& f : c->flows()) {
-          if (!f.finished()) f.set_rate(2 * fabric.port_bandwidth());
+          if (!f.finished()) rates.set(*c, f, 2 * fabric.port_bandwidth());
         }
       }
     }

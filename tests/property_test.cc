@@ -82,7 +82,8 @@ TEST_P(SchedulerProperty, CctAtLeastBottleneckBound) {
   const auto result = simulate(t, *sched, cfg);
   for (std::size_t i = 0; i < t.coflows.size(); ++i) {
     CoflowState state(t.coflows[i], FlowId{0});
-    const double bound = state.bottleneck_seconds(cfg.port_bandwidth);
+    const double bound =
+        state.bottleneck_seconds(cfg.port_bandwidth, t.coflows[i].arrival);
     const auto* rec = result.find(t.coflows[i].id);
     ASSERT_NE(rec, nullptr);
     EXPECT_GE(rec->cct_seconds(), bound - 1e-6);
@@ -126,8 +127,8 @@ TEST_P(SaathInvariant, AllOrNoneEqualRatesEveryEpoch) {
     explicit Observer(SaathConfig cfg) : inner_(cfg) {}
     std::string name() const override { return inner_.name(); }
     void schedule(SimTime now, std::span<CoflowState* const> active,
-                  Fabric& fabric) override {
-      inner_.schedule(now, active, fabric);
+                  Fabric& fabric, RateAssignment& rates) override {
+      inner_.schedule(now, active, fabric, rates);
       for (const CoflowState* c : active) {
         std::set<long> rates;
         bool any_positive = false;
@@ -174,8 +175,8 @@ TEST_P(SaathInvariant, AaloQueueMonotonicity) {
    public:
     std::string name() const override { return inner_.name(); }
     void schedule(SimTime now, std::span<CoflowState* const> active,
-                  Fabric& fabric) override {
-      inner_.schedule(now, active, fabric);
+                  Fabric& fabric, RateAssignment& rates) override {
+      inner_.schedule(now, active, fabric, rates);
       for (const CoflowState* c : active) {
         auto [it, inserted] = last_queue_.try_emplace(c->id(), c->queue_index);
         if (!inserted) {
@@ -211,8 +212,8 @@ class IndexOracleObserver final : public Scheduler {
   explicit IndexOracleObserver(SaathConfig cfg) : inner_(cfg) {}
   std::string name() const override { return inner_.name(); }
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override {
-    inner_.schedule(now, active, fabric);
+                Fabric& fabric, RateAssignment& rates) override {
+    inner_.schedule(now, active, fabric, rates);
     const auto& index = inner_.spatial_index();
     ASSERT_EQ(index.size(), active.size());
     std::vector<int> queue_of(active.size());
@@ -274,8 +275,8 @@ class RateDigestObserver final : public Scheduler {
       : inner_(cfg), out_(out) {}
   std::string name() const override { return inner_.name(); }
   void schedule(SimTime now, std::span<CoflowState* const> active,
-                Fabric& fabric) override {
-    inner_.schedule(now, active, fabric);
+                Fabric& fabric, RateAssignment& rates) override {
+    inner_.schedule(now, active, fabric, rates);
     std::size_t digest = std::hash<SimTime>{}(now);
     const auto mix = [&digest](std::size_t v) {
       digest ^= v + 0x9e3779b97f4a7c15ull + (digest << 6) + (digest >> 2);

@@ -142,8 +142,7 @@ TEST(Saath, PerFlowThresholdDemotesFaster) {
                              {3, 7, 30 * kMB}}));
   auto& c = set.at(0);
   // Only one flow progressed (e.g. via work conservation): 3MB > 10MB/4.
-  c.flows()[0].set_rate(3e6);
-  c.advance_all(seconds(1));
+  c.flows()[0].set_rate(3e6, 0);  // lazy: 3MB accrued by the 1 s schedule
 
   SaathScheduler pf(no_deadline());
   Fabric fabric(8, 100e6);
@@ -164,8 +163,7 @@ TEST(Saath, HigherQueueServedFirst) {
   set.add(make_coflow(0, 0, {{0, 2, 40 * kMB}}));
   set.add(make_coflow(1, seconds(1), {{0, 3, 1000}}));
   auto& old_coflow = set.at(0);
-  old_coflow.flows()[0].set_rate(15e6);
-  old_coflow.advance_all(seconds(1));  // 15MB > Q0 threshold -> Q1
+  old_coflow.flows()[0].set_rate(15e6, 0);  // 15MB by 1 s > Q0 threshold -> Q1
   SaathScheduler sched(no_deadline());
   Fabric fabric(4, 100.0);
   sched.schedule(seconds(1), set.active(), fabric);
@@ -221,10 +219,10 @@ TEST(Saath, DynamicsEstimateUsesMedianFinishedLength) {
   c.on_flow_complete(c.flows()[0], seconds(1));
   c.on_flow_complete(c.flows()[1], seconds(1));
   c.on_flow_complete(c.flows()[2], seconds(1));
-  c.flows()[3].set_rate(50.0);
-  c.advance_all(seconds(1));
+  c.flows()[3].set_rate(50.0, 0);
   // median finished length = 100; remaining estimate = 100 - 50 = 50.
-  EXPECT_DOUBLE_EQ(SaathScheduler::dynamics_remaining_estimate(c), 50.0);
+  EXPECT_DOUBLE_EQ(SaathScheduler::dynamics_remaining_estimate(c, seconds(1)),
+                   50.0);
 }
 
 TEST(Saath, DynamicsFlagPromotesCoflow) {
@@ -232,10 +230,9 @@ TEST(Saath, DynamicsFlagPromotesCoflow) {
   testing::StateSet set;
   set.add(make_coflow(0, 0, {{0, 2, 100'000}, {1, 3, 100'000}}));
   auto& c = set.at(0);
-  // Both flows sent 60KB: per-flow threshold Q0 = 500, Q1 = 5000, Q2=50000:
-  // max_flow_sent 60000 >= 50000 -> queue 3.
-  for (auto& f : c.flows()) f.set_rate(60'000);
-  c.advance_all(seconds(1));
+  // Both flows sent 60KB by 1 s: per-flow threshold Q0 = 500, Q1 = 5000,
+  // Q2 = 50000: max_flow_sent 60000 >= 50000 -> queue 3.
+  for (auto& f : c.flows()) f.set_rate(60'000, 0);
   SaathConfig cfg = no_deadline();
   cfg.queues = qcfg;
   SaathScheduler sched(cfg);
@@ -245,12 +242,11 @@ TEST(Saath, DynamicsFlagPromotesCoflow) {
 
   // One flow finishes; the other is restarted by a failure and flagged.
   c.on_flow_complete(c.flows()[0], seconds(2));
-  c.restart_flows_on_port(1);
+  c.restart_flows_on_port(1, seconds(2));
   c.dynamics_flagged = true;
   // Estimated remaining = median(100000) - 0 = 100000... still deep. Let
   // the restarted flow resend most of it, then expect promotion:
-  c.flows()[1].set_rate(99'700);
-  c.advance_all(seconds(1));
+  c.flows()[1].set_rate(99'700, seconds(2));
   fabric.reset();
   sched.schedule(seconds(3), set.active(), fabric);
   // remaining = 100000 - 99700 = 300 -> per-flow Q0 bound 500 -> queue 0.
