@@ -1,0 +1,298 @@
+// Delta-driven schedule phase benchmark — the perf trajectory anchor for
+// the order phase (queue assignment + admission ordering).
+//
+// Two measurements, both against the full scan+sort oracle
+// (SaathConfig::incremental_order = false):
+//
+//  * steady-churn snapshot: 500 CoFlows live on 150 ports, one flow
+//    completion per 8 ms round delivered exactly the way the engine does
+//    (lifecycle hook + SchedulerDelta). The oracle re-buckets and re-sorts
+//    all 500 every round; the delta path re-keys one CoFlow and re-walks
+//    only the dirtied suffix of the materialized order. This is the
+//    ISSUE 3 acceptance gate: order-phase ratio >= 5x at 500 CoFlows.
+//
+//  * end-to-end engine run: the FB-scale trace through both modes, with
+//    the quiescent-epoch skip on — epochs/sec plus how many rounds ran
+//    incrementally and how many admission ranks were replayed.
+//
+// Both measurements verify the two modes produce identical rate streams /
+// SimResults; the numbers are meaningless otherwise (exit 2).
+//
+//   $ ./sched_order [--coflows N] [--rounds N] [--out BENCH_sched_order.json]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sched/saath.h"
+#include "sim/engine.h"
+#include "trace/synth.h"
+
+namespace saath {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Churn {
+  std::vector<std::unique_ptr<CoflowState>> states;
+  std::vector<CoflowState*> active;
+
+  explicit Churn(int n, std::uint64_t seed) {
+    trace::SynthConfig cfg;
+    cfg.num_ports = 150;
+    cfg.num_coflows = n;
+    cfg.seed = seed;
+    const auto trace = synth_fb_trace(cfg);
+    std::int64_t next_flow = 0;
+    for (const auto& spec : trace.coflows) {
+      states.push_back(std::make_unique<CoflowState>(spec, FlowId{next_flow}));
+      next_flow += spec.width();
+      active.push_back(states.back().get());
+    }
+  }
+};
+
+struct SnapshotMeasurement {
+  double order_ns_per_round = 0;
+  double crossing_ns_per_round = 0;
+  double admit_ns_per_round = 0;
+  std::int64_t delta_rounds = 0;
+  std::int64_t replayed_ranks = 0;
+  std::vector<std::size_t> digests;
+};
+
+/// Drives `rounds` scheduling epochs over a fixed population the way the
+/// engine would: one flow completion per round (round-robin over CoFlows
+/// wide enough to survive it), delivered via hook + delta, with rates going
+/// through a begin_epoch'd RateAssignment. The first `kWarmup` rounds —
+/// where all 500 CoFlows race through the low queues at once and crossing
+/// churn is maximal — are excluded from the per-round phase numbers (the
+/// digest stream still covers them, so identity is checked end to end).
+SnapshotMeasurement run_snapshot(int coflows, int rounds, bool incremental) {
+  constexpr int kWarmup = 300;
+  Churn churn(coflows, 7);
+  SaathConfig cfg;
+  cfg.incremental_order = incremental;
+  SaathScheduler sched(cfg);
+  Fabric fabric(150, gbps(1));
+  RateAssignment rates(150);
+  SchedulerDelta delta;
+  delta.full = false;
+  delta.stream_id = incremental ? 900001 : 900002;
+
+  for (CoflowState* c : churn.active) sched.on_coflow_arrival(*c, 0);
+
+  SimTime now = 0;
+  std::size_t victim = 0;
+  SnapshotMeasurement m;
+  SaathPhaseStats warm;
+  for (int round = 0; round < rounds; ++round) {
+    if (round == kWarmup) warm = sched.phase_stats();
+    fabric.reset();
+    rates.begin_epoch(now);
+    sched.schedule(now, churn.active, fabric, rates, delta);
+    delta.clear_marks();
+
+    // Digest the full rate assignment: both modes must emit identical
+    // streams or the phase comparison is comparing different schedules.
+    std::size_t digest = std::hash<long long>{}(now);
+    const auto mix = [&digest](std::size_t v) {
+      digest ^= v + 0x9e3779b97f4a7c15ull + (digest << 6) + (digest >> 2);
+    };
+    for (const CoflowState* c : churn.active) {
+      mix(static_cast<std::size_t>(c->queue_index));
+      for (const auto& f : c->flows()) {
+        mix(std::hash<long long>{}(std::llround(f.rate() * 1e3)));
+      }
+    }
+    m.digests.push_back(digest);
+
+    // One completion per round, the engine way: stop the flow, update the
+    // CoFlow, fire the hook, mark the delta.
+    now += msec(8);
+    for (std::size_t probe = 0; probe < churn.active.size(); ++probe) {
+      CoflowState* c = churn.active[victim++ % churn.active.size()];
+      if (c->unfinished_flows() < 2) continue;
+      FlowState* pick = nullptr;
+      for (auto& f : c->flows()) {
+        if (!f.finished()) {
+          pick = &f;
+          break;
+        }
+      }
+      rates.flow_stopped(*pick);
+      c->on_flow_complete(*pick, now);
+      sched.on_flow_complete(*c, *pick, now);
+      // The engine marks completions plain-dirty because it only completes
+      // flows at saturation (sent == size, no metric jump). This snapshot
+      // kills flows mid-flight, which jumps max_flow_sent discontinuously —
+      // per the SchedulerDelta contract that is a requeue event.
+      delta.mark_requeue(c);
+      break;
+    }
+  }
+  const auto& st = sched.phase_stats();
+  const auto rounds_measured = static_cast<double>(st.rounds - warm.rounds);
+  m.order_ns_per_round =
+      static_cast<double>(st.order_ns - warm.order_ns) / rounds_measured;
+  m.crossing_ns_per_round =
+      static_cast<double>(st.crossing_ns - warm.crossing_ns) / rounds_measured;
+  m.admit_ns_per_round =
+      static_cast<double>(st.admit_ns - warm.admit_ns) / rounds_measured;
+  m.delta_rounds = st.delta_rounds;
+  m.replayed_ranks = st.replayed_ranks;
+  return m;
+}
+
+struct EngineMeasurement {
+  double wall_ms = 0;
+  double epochs_per_sec = 0;
+  double order_us_per_round = 0;
+  int epochs = 0;
+  std::int64_t delta_rounds = 0;
+  std::int64_t replayed_ranks = 0;
+  SimResult result;
+};
+
+EngineMeasurement run_engine(const trace::Trace& trace, bool incremental) {
+  SaathConfig scfg;
+  scfg.incremental_order = incremental;
+  SaathScheduler sched(scfg);
+  SimConfig cfg = bench::paper_sim_config();
+  Engine engine(trace, sched, cfg);
+  const auto t0 = Clock::now();
+  EngineMeasurement m;
+  m.result = engine.run();
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  m.epochs = engine.scheduling_rounds();
+  m.epochs_per_sec = m.epochs / (m.wall_ms / 1e3);
+  const auto& st = sched.phase_stats();
+  m.order_us_per_round =
+      static_cast<double>(st.order_ns) / 1e3 / static_cast<double>(st.rounds);
+  m.delta_rounds = st.delta_rounds;
+  m.replayed_ranks = st.replayed_ranks;
+  return m;
+}
+
+int run(int argc, char** argv) {
+  int coflows = 500;
+  int rounds = 2000;
+  std::string out = "BENCH_sched_order.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--coflows") == 0) coflows = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--rounds") == 0) rounds = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+
+  bench::print_header(
+      "schedule phase — delta-driven order index vs full scan+sort, " +
+          std::to_string(coflows) + " CoFlows on 150 ports",
+      "ROADMAP perf trajectory; ISSUE 3 acceptance: order ratio >= 5x");
+
+  const auto inc = run_snapshot(coflows, rounds, /*incremental=*/true);
+  const auto full = run_snapshot(coflows, rounds, /*incremental=*/false);
+
+  bool identical = inc.digests == full.digests;
+  const double order_ratio = inc.order_ns_per_round > 0
+                                 ? full.order_ns_per_round / inc.order_ns_per_round
+                                 : 0;
+
+  std::printf("%-26s %14s %14s\n", "snapshot (per round)", "delta-driven",
+              "full sort");
+  std::printf("%-26s %14.0f %14.0f\n", "order ns", inc.order_ns_per_round,
+              full.order_ns_per_round);
+  std::printf("%-26s %14.0f %14.0f\n", "admit ns", inc.admit_ns_per_round,
+              full.admit_ns_per_round);
+  std::printf("%-26s %14.0f %14s\n", "crossing ns", inc.crossing_ns_per_round,
+              "-");
+  std::printf("order-phase ratio: %.1fx   delta rounds: %lld   "
+              "replayed ranks: %lld   rates identical: %s\n\n",
+              order_ratio, static_cast<long long>(inc.delta_rounds),
+              static_cast<long long>(inc.replayed_ranks),
+              identical ? "yes" : "NO");
+
+  trace::SynthConfig tcfg;
+  tcfg.num_ports = 150;
+  tcfg.num_coflows = 526;
+  tcfg.seed = 7;
+  const auto trace = trace::synth_fb_trace(tcfg);
+  const auto e_inc = run_engine(trace, /*incremental=*/true);
+  const auto e_full = run_engine(trace, /*incremental=*/false);
+  bool engine_identical =
+      e_inc.result.coflows.size() == e_full.result.coflows.size();
+  for (std::size_t i = 0; engine_identical && i < e_inc.result.coflows.size();
+       ++i) {
+    engine_identical =
+        e_inc.result.coflows[i].finish == e_full.result.coflows[i].finish &&
+        e_inc.result.coflows[i].flow_fcts_seconds ==
+            e_full.result.coflows[i].flow_fcts_seconds;
+  }
+  identical = identical && engine_identical;
+  const double end_to_end_ratio = e_full.wall_ms / e_inc.wall_ms;
+
+  std::printf("%-26s %14s %14s\n", "engine (FB-scale)", "delta-driven",
+              "full sort");
+  std::printf("%-26s %14.1f %14.1f\n", "wall ms", e_inc.wall_ms,
+              e_full.wall_ms);
+  std::printf("%-26s %14.0f %14.0f\n", "epochs/sec", e_inc.epochs_per_sec,
+              e_full.epochs_per_sec);
+  std::printf("%-26s %14.2f %14.2f\n", "order us/round",
+              e_inc.order_us_per_round, e_full.order_us_per_round);
+  std::printf("end-to-end ratio: %.2fx   results identical: %s\n",
+              end_to_end_ratio, engine_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"sched_order\",\n"
+      "  \"coflows\": %d,\n"
+      "  \"rounds\": %d,\n"
+      "  \"identical\": %s,\n"
+      "  \"snapshot\": {\n"
+      "    \"incremental\": {\"order_ns_per_round\": %.1f, "
+      "\"crossing_ns_per_round\": %.1f, \"admit_ns_per_round\": %.1f, "
+      "\"delta_rounds\": %lld, \"replayed_ranks\": %lld},\n"
+      "    \"full\": {\"order_ns_per_round\": %.1f, "
+      "\"admit_ns_per_round\": %.1f},\n"
+      "    \"order_ratio\": %.2f\n"
+      "  },\n"
+      "  \"engine\": {\n"
+      "    \"coflows\": 526,\n"
+      "    \"incremental\": {\"wall_ms\": %.3f, \"epochs\": %d, "
+      "\"epochs_per_sec\": %.1f, \"order_us_per_round\": %.3f, "
+      "\"delta_rounds\": %lld, \"replayed_ranks\": %lld},\n"
+      "    \"full\": {\"wall_ms\": %.3f, \"epochs\": %d, "
+      "\"epochs_per_sec\": %.1f, \"order_us_per_round\": %.3f},\n"
+      "    \"end_to_end_ratio\": %.2f\n"
+      "  }\n"
+      "}\n",
+      coflows, rounds, identical ? "true" : "false", inc.order_ns_per_round,
+      inc.crossing_ns_per_round, inc.admit_ns_per_round,
+      static_cast<long long>(inc.delta_rounds),
+      static_cast<long long>(inc.replayed_ranks), full.order_ns_per_round,
+      full.admit_ns_per_round, order_ratio, e_inc.wall_ms, e_inc.epochs,
+      e_inc.epochs_per_sec, e_inc.order_us_per_round,
+      static_cast<long long>(e_inc.delta_rounds),
+      static_cast<long long>(e_inc.replayed_ranks), e_full.wall_ms,
+      e_full.epochs, e_full.epochs_per_sec, e_full.order_us_per_round,
+      end_to_end_ratio);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace saath
+
+int main(int argc, char** argv) { return saath::run(argc, argv); }

@@ -1,12 +1,26 @@
 #include "coflow/coflow.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
 #include "common/expect.h"
 
 namespace saath {
+
+namespace {
+
+/// See CoflowState::global_occupancy_epoch(). Bumped on construction and on
+/// every flow completion — the two events that can change any consumer-
+/// visible occupancy state.
+std::atomic<std::uint64_t> g_occupancy_epoch{0};
+
+}  // namespace
+
+std::uint64_t CoflowState::global_occupancy_epoch() {
+  return g_occupancy_epoch.load(std::memory_order_relaxed);
+}
 
 Bytes CoflowSpec::total_bytes() const {
   Bytes sum = 0;
@@ -51,11 +65,13 @@ void FlowState::set_rate(Rate r, SimTime now) {
     // The epoch-start zeroing is being cancelled by re-assigning the very
     // rate it took away, at the same instant: restore the pre-zero
     // trajectory exactly — version included, so the completion event
-    // already queued for it stays valid and nothing is re-pushed.
+    // already queued for it stays valid and nothing is re-pushed (and the
+    // owner's trajectory_version rolls back with it).
     anchor_ = resume_anchor_;
     sent_base_ = resume_base_;
     rate_ = resume_rate_;
     predicted_finish_ = resume_pf_;
+    sync_version(rate_version_, resume_version_);
     rate_version_ = resume_version_;
     resume_zeroed_at_ = kNever;
     note_mutation(0, rate_);
@@ -77,6 +93,7 @@ void FlowState::set_rate(Rate r, SimTime now) {
   sent_base_ = sent(at);
   anchor_ = at;
   rate_ = r;
+  sync_version(rate_version_, rate_version_ + 1);
   ++rate_version_;
   note_mutation(before, r);
   const double rem = size_ - sent_base_;
@@ -104,6 +121,7 @@ void FlowState::complete(SimTime now) {
   finished_ = true;
   finish_time_ = now;
   predicted_finish_ = now;
+  sync_version(rate_version_, rate_version_ + 1);
   ++rate_version_;
   note_mutation(before, 0);
 }
@@ -118,6 +136,7 @@ double FlowState::restart(SimTime now) {
   anchor_ = at;
   predicted_finish_ = size_ <= 0 ? at : kNever;
   resume_zeroed_at_ = kNever;
+  sync_version(rate_version_, rate_version_ + 1);
   ++rate_version_;
   note_mutation(before, 0);
   return lost;
@@ -128,6 +147,12 @@ void FlowState::note_mutation(Rate rate_before, Rate rate_after) {
   ++owner_->progress_version_;
   owner_->rated_flows_ +=
       static_cast<int>(rate_after > 0) - static_cast<int>(rate_before > 0);
+}
+
+void FlowState::sync_version(std::uint64_t old_version,
+                             std::uint64_t new_version) {
+  if (owner_ == nullptr) return;
+  owner_->trajectory_version_ += new_version - old_version;
 }
 
 namespace {
@@ -180,6 +205,7 @@ CoflowState::CoflowState(const CoflowSpec& spec, FlowId first_flow_id)
   sender_order_ = sorted_slots(senders_);
   receiver_order_ = sorted_slots(receivers_);
   unfinished_ = static_cast<int>(flows_.size());
+  g_occupancy_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 SimTime CoflowState::completion_time() const {
@@ -266,9 +292,29 @@ OccupancyDelta CoflowState::on_flow_complete(FlowState& flow, SimTime now) {
   delta.receiver_freed = --rload.unfinished_flows == 0;
   finished_lengths_.push_back(flow.size());
   ++occupancy_version_;
+  g_occupancy_epoch.fetch_add(1, std::memory_order_relaxed);
   --unfinished_;
   if (unfinished_ == 0) finish_time_ = now;
   return delta;
+}
+
+double CoflowState::finished_length_median() const {
+  SAATH_EXPECTS(!finished_lengths_.empty());
+  if (median_for_count_ == finished_lengths_.size()) return median_cache_;
+  std::vector<double> values = finished_lengths_;
+  const auto mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  double median = values[mid];
+  if (values.size() % 2 == 0) {
+    const double hi = values[mid];
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<long>(mid) - 1, values.end());
+    median = (values[mid - 1] + hi) / 2.0;
+  }
+  median_for_count_ = finished_lengths_.size();
+  median_cache_ = median;
+  return median;
 }
 
 }  // namespace saath

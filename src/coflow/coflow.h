@@ -111,6 +111,9 @@ class FlowState {
   /// Reports a trajectory mutation (rate change, completion, restart) to
   /// the owning CoflowState's aggregate cache; no-op for standalone flows.
   void note_mutation(Rate rate_before, Rate rate_after);
+  /// Keeps the owner's trajectory_version() in sync with a rate_version_
+  /// transition (unsigned-wrap arithmetic handles the restore rollback).
+  void sync_version(std::uint64_t old_version, std::uint64_t new_version);
 
   // Field order is deliberate: the first cache line holds everything the
   // per-epoch scheduler passes read (sent()/rate()/finished() over tens of
@@ -205,6 +208,17 @@ class CoflowState {
     return occupancy_version_;
   }
 
+  /// Sum of the flows' rate versions. Equality between two observations
+  /// proves every flow's trajectory is unchanged between them: per-flow
+  /// versions never fall below an epoch-end observation (the bit-exact
+  /// zero-then-restore of a quiescent re-rate restores the version too),
+  /// so the sum cannot alias offsetting changes. This is what lets
+  /// crossing-prediction consumers skip their O(flows) scan when a
+  /// scheduling round re-derived the exact same rates.
+  [[nodiscard]] std::uint64_t trajectory_version() const {
+    return trajectory_version_;
+  }
+
   /// Bottleneck time at full port bandwidth over remaining bytes — the SEBF
   /// metric Γ (max over ports of remaining port bytes / bandwidth).
   [[nodiscard]] double bottleneck_seconds(Rate port_bandwidth, SimTime now) const;
@@ -232,6 +246,19 @@ class CoflowState {
   [[nodiscard]] std::span<const double> finished_flow_lengths() const {
     return finished_lengths_;
   }
+
+  /// Median of finished_flow_lengths() (f_e, §4.3), cached on the
+  /// finished-set size so the per-round SRTF estimator stops re-selecting
+  /// from a fresh vector copy when no flow finished in between. Requires a
+  /// non-empty finished set.
+  [[nodiscard]] double finished_length_median() const;
+
+  /// Process-wide counter bumped whenever ANY CoflowState's port occupancy
+  /// (or existence) changes. Lets consumers holding snapshots of many
+  /// CoFlows answer "could anything have drifted since I looked?" in O(1)
+  /// instead of re-probing every CoFlow; over-approximate across engines,
+  /// which only costs a spurious re-probe.
+  [[nodiscard]] static std::uint64_t global_occupancy_epoch();
 
  private:
   friend class FlowState;
@@ -272,8 +299,13 @@ class CoflowState {
   std::vector<std::uint32_t> sender_order_;
   std::vector<std::uint32_t> receiver_order_;
   std::vector<double> finished_lengths_;
+  /// finished_lengths_.size() the cached median was computed at; 0 = none.
+  mutable std::size_t median_for_count_ = 0;
+  mutable double median_cache_ = 0;
   int unfinished_ = 0;
   std::uint64_t occupancy_version_ = 0;
+  /// Σ flows' rate_version(), maintained by FlowState::sync_version.
+  std::uint64_t trajectory_version_ = 0;
   SimTime finish_time_ = kNever;
   /// Bumped by FlowState::note_mutation on every trajectory change; keys
   /// the aggregate caches. rated_flows_ counts flows with rate > 0 — when

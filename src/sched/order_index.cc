@@ -1,0 +1,183 @@
+#include "sched/order_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace saath {
+
+void OrderIndex::dirty_at(const OrderKey& k) {
+  if (dirty_all_) return;
+  if (!dirty_any_ || k < dirty_floor_) dirty_floor_ = k;
+  dirty_any_ = true;
+}
+
+void OrderIndex::insert(CoflowState* c, const OrderKey& k) {
+  SAATH_EXPECTS(c != nullptr);
+  SAATH_EXPECTS(!contains(k.id));
+  SAATH_EXPECTS(k.id == c->id());
+  const auto [it, ok] = order_.emplace(k, c);
+  SAATH_EXPECTS(ok);
+  by_id_.emplace(k.id, it);
+  dirty_at(k);
+}
+
+void OrderIndex::erase(CoflowId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  dirty_at(it->second->first);
+  order_.erase(it->second);
+  by_id_.erase(it);
+}
+
+void OrderIndex::update(CoflowId id, const OrderKey& k) {
+  const auto it = by_id_.find(id);
+  SAATH_EXPECTS(it != by_id_.end());
+  SAATH_EXPECTS(k.id == id);
+  const OrderKey& old = it->second->first;
+  if (!(old < k) && !(k < old) && old.deadline == k.deadline) return;
+  dirty_at(old);
+  dirty_at(k);
+  // Extract + re-insert reuses the map node — re-keying is allocation-free.
+  auto node = order_.extract(it->second);
+  node.key() = k;
+  const auto ins = order_.insert(std::move(node));
+  SAATH_EXPECTS(ins.inserted);
+  it->second = ins.position;
+}
+
+void OrderIndex::touch(CoflowId id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  dirty_at(it->second->first);
+}
+
+const OrderKey& OrderIndex::key_of(CoflowId id) const {
+  return by_id_.at(id)->first;
+}
+
+CoflowState* OrderIndex::state_of(CoflowId id) const {
+  return by_id_.at(id)->second;
+}
+
+std::size_t OrderIndex::materialize() {
+  if (!dirty_all_ && !dirty_any_) return cached_.size();
+  std::size_t prefix = 0;
+  Map::const_iterator resume = order_.begin();
+  if (!dirty_all_) {
+    // Every mutation since the last materialization involved keys
+    // >= dirty_floor_, so cached entries strictly below the floor are
+    // exactly the current entries below it, in unchanged order.
+    const auto cit = std::lower_bound(cached_keys_.begin(), cached_keys_.end(),
+                                      dirty_floor_);
+    prefix = static_cast<std::size_t>(cit - cached_keys_.begin());
+    resume = order_.lower_bound(dirty_floor_);
+  }
+  cached_.resize(prefix);
+  cached_keys_.resize(prefix);
+  for (auto it = resume; it != order_.end(); ++it) {
+    cached_.push_back(it->second);
+    cached_keys_.push_back(it->first);
+  }
+  dirty_all_ = false;
+  dirty_any_ = false;
+  return prefix;
+}
+
+void OrderIndex::rebuild(
+    std::span<const std::pair<OrderKey, CoflowState*>> sorted) {
+  clear();
+  cached_.reserve(sorted.size());
+  cached_keys_.reserve(sorted.size());
+  for (const auto& [k, c] : sorted) {
+    const auto [it, ok] = order_.emplace(k, c);
+    SAATH_EXPECTS(ok);
+    by_id_.emplace(k.id, it);
+    cached_.push_back(c);
+    cached_keys_.push_back(k);
+  }
+  // Seeded clean: the cache IS the current order.
+  dirty_all_ = false;
+  dirty_any_ = false;
+}
+
+void OrderIndex::clear() {
+  order_.clear();
+  by_id_.clear();
+  cached_.clear();
+  cached_keys_.clear();
+  dirty_all_ = true;
+  dirty_any_ = false;
+}
+
+SimTime guarded_crossing_instant(SimTime now, double cross_seconds) {
+  if (cross_seconds >= 9e11) return kNever;
+  const auto dt = static_cast<SimTime>(std::max(0.0, cross_seconds) * 1e6);
+  return now + std::max<SimTime>(0, dt - 1 - (dt >> 40));
+}
+
+double total_bytes_cross_seconds(const CoflowState& c, double bound,
+                                 SimTime now) {
+  if (!std::isfinite(bound)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double total_rate = 0;
+  for (const auto& f : c.flows()) {
+    if (!f.finished()) total_rate += f.rate();
+  }
+  if (total_rate <= 0) return std::numeric_limits<double>::infinity();
+  return (bound - c.total_sent(now)) / total_rate;
+}
+
+void QueueCrossingHeap::program(CoflowState* c, SimTime at, std::uint64_t traj,
+                                int queue) {
+  SAATH_EXPECTS(c != nullptr);
+  const auto [it, inserted] = live_.try_emplace(c->id());
+  Live& l = it->second;
+  l.state = c;
+  l.traj = traj;
+  l.queue = queue;
+  if (!inserted && l.at == at) {
+    // Same trigger instant re-derived (steady-state re-rates): the queued
+    // entry stands — no seq bump, no heap push.
+    return;
+  }
+  l.at = at;
+  l.seq = ++next_seq_;  // invalidates any armed heap item
+  if (at != kNever) heap_.push({at, c->id(), l.seq});
+}
+
+bool QueueCrossingHeap::current(CoflowId id, std::uint64_t traj,
+                                int queue) const {
+  const auto it = live_.find(id);
+  return it != live_.end() && it->second.traj == traj &&
+         it->second.queue == queue;
+}
+
+void QueueCrossingHeap::erase(CoflowId id) { live_.erase(id); }
+
+std::size_t QueueCrossingHeap::programmed() const {
+  std::size_t n = 0;
+  for (const auto& [id, l] : live_) n += l.at != kNever;
+  return n;
+}
+
+SimTime QueueCrossingHeap::next() const {
+  while (!heap_.empty()) {
+    const Item& top = heap_.top();
+    const auto it = live_.find(top.id);
+    if (it != live_.end() && it->second.seq == top.seq) return top.at;
+    heap_.pop();
+  }
+  return kNever;
+}
+
+void QueueCrossingHeap::clear() {
+  heap_ = {};
+  live_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace saath

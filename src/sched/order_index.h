@@ -1,0 +1,213 @@
+// Delta-maintained CoFlow ordering — the schedule-phase half of making the
+// coordinator event-driven (Saath §4, Table 2's O(1)-amortized queue
+// transitions).
+//
+// Saath's admission order is a total order under the composite key
+//   (expired, deadline | queue, contention-or-arrival, arrival, id)
+// which the scheduler used to rebuild with a full std::sort every epoch,
+// even when a single flow completion was the only change. OrderIndex keeps
+// that order as a maintained structure: one ordered map under the exact
+// comparator the sort used (expired CoFlows float to the front by deadline
+// — the "expired-deadline head" — followed by the per-queue runs), updated
+// in O(log F) per arrival, completion, queue move, contention change or
+// deadline expiry. Materialization reuses the previously emitted prefix up
+// to the first dirtied rank, so an epoch whose deltas all land late in the
+// order re-walks only the tail — and the admission pass can replay its
+// cached decisions for the untouched prefix.
+//
+// QueueCrossingHeap is the companion time-trigger structure: each CoFlow's
+// next queue-threshold crossing instant (computed from the closed-form
+// FlowState trajectories) is programmed into a lazy-invalidation min-heap,
+// so queue reassignment pops due crossings instead of rescanning every
+// flow of every CoFlow, and schedule_valid_until() reads the top in O(1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace saath {
+
+/// Composite admission-order key. Field semantics mirror the sort lambda
+/// this index replaced: `deadline` is compared only between two expired
+/// entries; `key` is contention under LCoF and arrival under FIFO.
+struct OrderKey {
+  bool expired = false;
+  SimTime deadline = kNever;
+  int queue = 0;
+  std::int64_t key = 0;
+  SimTime arrival = 0;
+  CoflowId id{};
+
+  friend bool operator<(const OrderKey& a, const OrderKey& b) {
+    // D5: expired CoFlows ahead of everything, earliest deadline first; the
+    // FIFO-derived bound must hold even for CoFlows demoted to low queues.
+    if (a.expired != b.expired) return a.expired;
+    if (a.expired && a.deadline != b.deadline) return a.deadline < b.deadline;
+    if (a.queue != b.queue) return a.queue < b.queue;
+    if (a.key != b.key) return a.key < b.key;
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.id < b.id;
+  }
+};
+
+class OrderIndex {
+ public:
+  /// Adds a CoFlow under `k`. Must not already be present.
+  void insert(CoflowState* c, const OrderKey& k);
+
+  /// Removes a CoFlow (no-op when absent, so completion deltas can be
+  /// replayed idempotently).
+  void erase(CoflowId id);
+
+  /// Re-keys `id` to `k` (O(log F); exact no-op when the key is unchanged).
+  void update(CoflowId id, const OrderKey& k);
+
+  /// Marks `id` dirty for materialization without changing its key: any
+  /// rank at or after it loses prefix-replay eligibility. Used when a
+  /// CoFlow's *state* changed (flow completed, data-availability flipped)
+  /// in a way the order key does not capture but admission depends on.
+  void touch(CoflowId id);
+
+  [[nodiscard]] bool contains(CoflowId id) const {
+    return by_id_.find(id) != by_id_.end();
+  }
+  [[nodiscard]] const OrderKey& key_of(CoflowId id) const;
+  [[nodiscard]] CoflowState* state_of(CoflowId id) const;
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+
+  /// Rebuilds the materialized total order, reusing the still-clean prefix
+  /// of the previous materialization. Returns the first rank that may
+  /// differ from the previous call (== size() when nothing was dirtied:
+  /// the whole order, and any decisions cached against it, stand).
+  std::size_t materialize();
+
+  /// The order as of the last materialize().
+  [[nodiscard]] std::span<CoflowState* const> ordered() const {
+    return cached_;
+  }
+  [[nodiscard]] std::span<const OrderKey> ordered_keys() const {
+    return cached_keys_;
+  }
+
+  /// Wholesale reset from an already-sorted (key, state) sequence — the
+  /// priming path after a full-sort epoch. The cache is seeded as clean, so
+  /// the next materialize() is O(1) unless deltas arrive first.
+  void rebuild(std::span<const std::pair<OrderKey, CoflowState*>> sorted);
+
+  void clear();
+
+ private:
+  using Map = std::map<OrderKey, CoflowState*>;
+  void dirty_at(const OrderKey& k);
+
+  Map order_;
+  std::unordered_map<CoflowId, Map::iterator> by_id_;
+  /// Materialization cache + the keys it was emitted under.
+  std::vector<CoflowState*> cached_;
+  std::vector<OrderKey> cached_keys_;
+  bool dirty_all_ = true;
+  bool dirty_any_ = false;
+  OrderKey dirty_floor_{};
+};
+
+/// Converts a predicted crossing delay (seconds from `now` at current
+/// rates) into the guarded absolute instant to program, or kNever beyond
+/// the ~9e11 s horizon (≈28k years — clear of int64 µs overflow). The
+/// guard band makes float rounding strictly conservative: predictions may
+/// only ever be EARLY (a due pop that has not actually crossed just
+/// re-programs), never late (a missed queue move diverges from the
+/// full-scan oracle). 1µs absorbs the µs-grid truncation; the dt>>40 term
+/// scales past double's integer precision for far-future instants. Every
+/// crossing producer (Saath per-flow/total, Aalo total) must derive its
+/// instants through this one formula.
+[[nodiscard]] SimTime guarded_crossing_instant(SimTime now,
+                                               double cross_seconds);
+
+/// Seconds until `c`'s total bytes sent reaches `bound` at current rates
+/// (+inf when the bound is infinite or nothing is sending) — the
+/// total-bytes queue-crossing derivation. Every producer (Saath's
+/// total-bytes mode, Aalo, the valid-until scans) must share it: drift
+/// between copies breaks the incremental-vs-oracle bit-identity contract.
+[[nodiscard]] double total_bytes_cross_seconds(const CoflowState& c,
+                                               double bound, SimTime now);
+
+/// Min-heap of predicted queue-threshold crossing instants with lazy
+/// invalidation: program() supersedes a CoFlow's previous entry by sequence
+/// number; stale entries are pruned at the top. Crossing times may be
+/// conservative (early) — a due pop whose CoFlow has not actually crossed
+/// just re-programs — but must never be late.
+class QueueCrossingHeap {
+ public:
+  /// (Re)programs `c`'s next crossing at absolute instant `at`. `traj` and
+  /// `queue` snapshot the inputs the prediction was derived from (see
+  /// current()). kNever records a "no crossing" tombstone — memoized like a
+  /// real entry, never armed in the heap.
+  void program(CoflowState* c, SimTime at, std::uint64_t traj = 0,
+               int queue = 0);
+
+  /// True when `id`'s entry (or tombstone) was derived from the same
+  /// (CoflowState::trajectory_version, queue): every flow trajectory is
+  /// provably unchanged, so the recorded prediction is still exact and the
+  /// caller can skip its O(flows) re-derivation.
+  [[nodiscard]] bool current(CoflowId id, std::uint64_t traj,
+                             int queue) const;
+
+  /// Drops `id`'s programmed crossing (CoFlow completed).
+  void erase(CoflowId id);
+
+  /// Earliest programmed instant, kNever when none. Prunes stale tops.
+  [[nodiscard]] SimTime next() const;
+
+  /// Pops every CoFlow whose crossing is due (<= now) into `fn(CoflowState*)`.
+  template <typename Fn>
+  void pop_due(SimTime now, Fn&& fn) {
+    while (!heap_.empty() && heap_.top().at <= now) {
+      const Item top = heap_.top();
+      heap_.pop();
+      const auto it = live_.find(top.id);
+      if (it == live_.end() || it->second.seq != top.seq) continue;  // stale
+      CoflowState* c = it->second.state;
+      live_.erase(it);
+      fn(c);
+    }
+  }
+
+  /// Entries armed with a real crossing instant (tombstones excluded).
+  [[nodiscard]] std::size_t programmed() const;
+  void clear();
+
+ private:
+  struct Item {
+    SimTime at = kNever;
+    CoflowId id{};
+    std::uint64_t seq = 0;
+    friend bool operator>(const Item& a, const Item& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id.value > b.id.value;
+    }
+  };
+  struct Live {
+    CoflowState* state = nullptr;
+    SimTime at = kNever;
+    std::uint64_t seq = 0;
+    /// Derivation snapshot for current().
+    std::uint64_t traj = 0;
+    int queue = 0;
+  };
+
+  /// Mutable so next() can prune stale tops from const context
+  /// (schedule_valid_until is const).
+  mutable std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  std::unordered_map<CoflowId, Live> live_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace saath

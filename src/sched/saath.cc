@@ -22,16 +22,22 @@ using Clock = std::chrono::steady_clock;
       .count();
 }
 
-[[nodiscard]] double median_of(std::vector<double> values) {
-  SAATH_EXPECTS(!values.empty());
-  const auto mid = values.size() / 2;
-  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
-                   values.end());
-  if (values.size() % 2 == 1) return values[mid];
-  const double hi = values[mid];
-  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid) - 1,
-                   values.end());
-  return (values[mid - 1] + hi) / 2.0;
+/// Seconds until c's max_flow_sent reaches the per-flow bound at current
+/// rates: the first flow to get there decides. Flows smaller than the
+/// bound can never reach it (sent is capped at size) — skipping them is
+/// exact, not just conservative. Shared by the crossing-heap producer and
+/// the legacy valid-until scan; the two must never drift.
+[[nodiscard]] double per_flow_cross_seconds(const CoflowState& c, double bound,
+                                            SimTime now) {
+  double cross = std::numeric_limits<double>::infinity();
+  if (!std::isfinite(bound)) return cross;
+  for (const auto& f : c.flows()) {
+    if (f.finished() || f.rate() <= 0 || f.size() < bound) continue;
+    const double sent = f.sent(now);
+    if (sent >= bound) continue;
+    cross = std::min(cross, (bound - sent) / f.rate());
+  }
+  return cross;
 }
 
 }  // namespace
@@ -55,9 +61,8 @@ std::string SaathScheduler::name() const {
 
 double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow,
                                                    SimTime now) {
-  const auto finished = coflow.finished_flow_lengths();
-  SAATH_EXPECTS(!finished.empty());
-  const double f_e = median_of({finished.begin(), finished.end()});
+  SAATH_EXPECTS(!coflow.finished_flow_lengths().empty());
+  const double f_e = coflow.finished_length_median();
   // Remaining of flow i is estimated as (f_e - sent_i)+; the CoFlow's
   // remaining work m_c is the max since the CCT tracks the last flow.
   double m_c = 0;
@@ -66,6 +71,11 @@ double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow,
     m_c = std::max(m_c, std::max(0.0, f_e - f.sent(now)));
   }
   return m_c;
+}
+
+bool SaathScheduler::is_volatile(const CoflowState& c) const {
+  return config_.dynamics_srtf && c.dynamics_flagged &&
+         !c.finished_flow_lengths().empty();
 }
 
 void SaathScheduler::on_coflow_arrival(CoflowState& coflow, SimTime now) {
@@ -93,11 +103,31 @@ void SaathScheduler::on_coflow_complete(CoflowState& coflow, SimTime now) {
   if (queue_tracked_.erase(coflow.id()) > 0) {
     queue_population_.remove(coflow.queue_index);
   }
+  // Drop the CoFlow from the delta structures right away (all no-ops when
+  // they are empty or never held it) so nothing retains its pointer.
+  pending_deadlines_.erase({coflow.deadline, coflow.id()});
+  forget_coflow(coflow.id());
   if (!tracks_index() || !spatial_.contains(coflow.id())) return;
   spatial_.remove_coflow(coflow.id());
 }
 
+void SaathScheduler::forget_coflow(CoflowId id) {
+  order_.erase(id);
+  crossings_.erase(id);
+  volatile_.erase(id);
+}
+
 void SaathScheduler::sync_spatial(std::span<CoflowState* const> active) {
+  // O(1) fast path: same active span, no index mutation, and no CoFlow
+  // occupancy event anywhere in the process since the last probe — nothing
+  // can have drifted. (A driver that splices *existing* CoflowStates into
+  // the same span in place without completing any flow defeats the probe;
+  // no supported caller does that.)
+  if (active.data() == sync_active_data_ && active.size() == sync_active_size_ &&
+      spatial_.mutation_count() == sync_spatial_mutations_ &&
+      CoflowState::global_occupancy_epoch() == sync_occupancy_epoch_) {
+    return;
+  }
   for (CoflowState* c : active) {
     if (!spatial_.contains(c->id())) {
       spatial_.add_coflow(*c, c->queue_index);
@@ -112,6 +142,45 @@ void SaathScheduler::sync_spatial(std::span<CoflowState* const> active) {
     // Stale entries for CoFlows no longer active: rebuild wholesale.
     spatial_.clear();
     for (CoflowState* c : active) spatial_.add_coflow(*c, c->queue_index);
+  }
+  sync_active_data_ = active.data();
+  sync_active_size_ = active.size();
+  sync_spatial_mutations_ = spatial_.mutation_count();
+  sync_occupancy_epoch_ = CoflowState::global_occupancy_epoch();
+}
+
+int SaathScheduler::target_queue(const CoflowState& c, SimTime now) const {
+  if (is_volatile(c)) {
+    // §4.3: once some flows finished we can estimate remaining work
+    // directly instead of relying on attained service; this may move the
+    // CoFlow *up*, which the total-bytes rule can never do.
+    return queues_.queue_for_max_flow_bytes(dynamics_remaining_estimate(c, now),
+                                            c.width());
+  }
+  if (config_.per_flow_threshold) {
+    return queues_.queue_for_max_flow_bytes(c.max_flow_sent(now), c.width());
+  }
+  return queues_.queue_for_total_bytes(c.total_sent(now));
+}
+
+void SaathScheduler::stamp_deadlines(SimTime now,
+                                     std::span<CoflowState* const> entered,
+                                     Rate port_bandwidth) {
+  if (config_.deadline_factor <= 0 || entered.empty()) return;
+  // D5: deadline = d * C_q * t, where C_q is the queue's population (read
+  // from the delta-maintained tracker, after ALL of this round's moves) and
+  // t its minimum residence time — the FIFO drain-time bound.
+  for (CoflowState* c : entered) {
+    if (c->deadline != kNever) {
+      pending_deadlines_.erase({c->deadline, c->id()});
+    }
+    const int population = queue_population_.count(c->queue_index);
+    const double t_q =
+        queues_.min_residence_seconds(c->queue_index, port_bandwidth);
+    c->deadline =
+        now + static_cast<SimTime>(config_.deadline_factor * population * t_q *
+                                   1e6);
+    pending_deadlines_.insert({c->deadline, c->id()});
   }
 }
 
@@ -136,42 +205,18 @@ void SaathScheduler::assign_queues_and_deadlines(
     }
   }
 
-  std::vector<CoflowState*> entered;  // CoFlows needing a fresh deadline
+  entered_.clear();  // CoFlows needing a fresh deadline
   for (CoflowState* c : active) {
-    int q;
-    if (config_.dynamics_srtf && c->dynamics_flagged &&
-        !c->finished_flow_lengths().empty()) {
-      // §4.3: once some flows finished we can estimate remaining work
-      // directly instead of relying on attained service; this may move the
-      // CoFlow *up*, which the total-bytes rule can never do.
-      q = queues_.queue_for_max_flow_bytes(dynamics_remaining_estimate(*c, now),
-                                           c->width());
-    } else if (config_.per_flow_threshold) {
-      q = queues_.queue_for_max_flow_bytes(c->max_flow_sent(now), c->width());
-    } else {
-      q = queues_.queue_for_total_bytes(c->total_sent(now));
-    }
+    const int q = target_queue(*c, now);
     const bool fresh = c->deadline == kNever && config_.deadline_factor > 0;
     if (q != c->queue_index || fresh) {
       queue_population_.move(c->queue_index, q);
       c->queue_index = q;
       c->queue_entered_at = now;
-      entered.push_back(c);
+      entered_.push_back(c);
     }
   }
-
-  if (config_.deadline_factor <= 0 || entered.empty()) return;
-  // D5: deadline = d * C_q * t, where C_q is the queue's population (read
-  // from the delta-maintained tracker) and t its minimum residence time —
-  // the FIFO drain-time bound.
-  for (CoflowState* c : entered) {
-    const int population = queue_population_.count(c->queue_index);
-    const double t_q =
-        queues_.min_residence_seconds(c->queue_index, port_bandwidth);
-    c->deadline =
-        now + static_cast<SimTime>(config_.deadline_factor * population * t_q *
-                                   1e6);
-  }
+  stamp_deadlines(now, entered_, port_bandwidth);
 }
 
 bool SaathScheduler::all_ports_available(const CoflowState& c,
@@ -207,17 +252,178 @@ Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric,
                     fabric.recv_remaining(load.port) / load.unfinished_flows);
   }
   SAATH_EXPECTS(std::isfinite(rate) && rate >= 0);
+  replay_equal_rate(c, rate, fabric, rates);
+  return rate;
+}
+
+void SaathScheduler::replay_equal_rate(CoflowState& c, Rate rate,
+                                       Fabric& fabric,
+                                       RateAssignment& rates) const {
   for (auto& f : c.flows()) {
     if (f.finished()) continue;
     rates.set(c, f, rate);
     fabric.consume(f.src(), f.dst(), rate);
   }
-  return rate;
 }
 
-void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
+std::int64_t SaathScheduler::order_key_component(const CoflowState& c) const {
+  if (!config_.lcof) return static_cast<std::int64_t>(c.arrival());
+  return spatial_.contention(c.id());
+}
+
+OrderKey SaathScheduler::make_key(const CoflowState& c, SimTime now,
+                                  std::int64_t contention_key) const {
+  OrderKey k;
+  k.expired = config_.deadline_factor > 0 && c.deadline != kNever &&
+              c.deadline <= now;
+  k.deadline = c.deadline;
+  k.queue = c.queue_index;
+  k.key = contention_key;
+  k.arrival = c.arrival();
+  k.id = c.id();
+  return k;
+}
+
+void SaathScheduler::program_crossing(CoflowState& c, SimTime now) {
+  if (c.finished() || is_volatile(c)) {
+    // Volatile CoFlows are re-bucketed every round regardless (the §4.3
+    // estimate drifts continuously); a crossing entry would be noise.
+    crossings_.erase(c.id());
+    return;
+  }
+  // Trajectory unchanged since the entry (or tombstone) was derived — the
+  // common case when a round re-assigned the exact same rates — keeps the
+  // recorded prediction without re-scanning the flows.
+  const std::uint64_t traj = c.trajectory_version();
+  if (crossings_.current(c.id(), traj, c.queue_index)) return;
+  const double cross_seconds =
+      config_.per_flow_threshold
+          ? per_flow_cross_seconds(
+                c, queues_.hi_threshold(c.queue_index) / c.width(), now)
+          : total_bytes_cross_seconds(c, queues_.hi_threshold(c.queue_index),
+                                      now);
+  crossings_.program(&c, guarded_crossing_instant(now, cross_seconds), traj,
+                     c.queue_index);
+}
+
+void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
+                                        RateAssignment& rates,
+                                        std::size_t first_dirty_rank,
+                                        bool allow_replay) {
+  (void)now;
+  const auto ordered = order_.ordered();
+  const auto t1 = Clock::now();
+  // Replay soundness: all-or-none admission of rank i depends only on the
+  // fabric state left by ranks < i, each CoFlow's unfinished-flow set, its
+  // data gate and the port capacities. The clean prefix has identical
+  // membership/order AND untouched per-CoFlow state (touch() fences any
+  // mutation), so the cached decisions reproduce the recompute bit-exactly
+  // as long as capacities did not move.
+  const bool replay = allow_replay && config_.all_or_none &&
+                      fabric.capacity_version() == admit_capacity_version_ &&
+                      admit_cache_.size() >= first_dirty_rank;
+  admit_cache_.resize(ordered.size());
+  std::vector<CoflowState*>& missed = missed_scratch_;
+  missed.clear();
+  for (std::size_t rank = 0; rank < ordered.size(); ++rank) {
+    CoflowState* c = ordered[rank];
+    if (replay && rank < first_dirty_rank) {
+      ++stats_.replayed_ranks;
+      const AdmitDecision& d = admit_cache_[rank];
+      if (d.kind == AdmitDecision::Kind::kAdmitted) {
+        replay_equal_rate(*c, d.rate, fabric, rates);
+      } else if (d.kind == AdmitDecision::Kind::kMissed) {
+        missed.push_back(c);
+      }
+      continue;
+    }
+    AdmitDecision d;
+    if (config_.respect_data_availability && !c->data_available) {
+      d.kind = AdmitDecision::Kind::kSkippedUnavailable;
+    } else if (!config_.all_or_none) {
+      // Ablation escape hatch: partial (per-flow greedy) allocation, i.e.
+      // the spatial coordination is switched off entirely.
+      allocate_greedy_fair(*c, fabric, rates);
+      d.kind = AdmitDecision::Kind::kGreedy;
+    } else if (all_ports_available(*c, fabric)) {
+      d.kind = AdmitDecision::Kind::kAdmitted;
+      d.rate = allocate_equal_rate(*c, fabric, rates);
+    } else {
+      d.kind = AdmitDecision::Kind::kMissed;
+      missed.push_back(c);
+    }
+    admit_cache_[rank] = d;
+    // Delta rounds re-derive crossings only for changed trajectories; the
+    // prime path reprograms every CoFlow wholesale and skips collection.
+    if (allow_replay) recross_.push_back(c);
+  }
+  stats_.admit_ns += ns_since(t1);
+
+  // Work conservation (Fig 7 lines 14, 18–23): missed CoFlows, in order,
+  // soak up whatever budget is left, flow by flow.
+  const auto t2 = Clock::now();
+  if (config_.work_conservation) {
+    for (CoflowState* c : missed) {
+      for (auto& f : c->flows()) {
+        if (f.finished()) continue;
+        const Rate r = std::min(fabric.send_remaining(f.src()),
+                                fabric.recv_remaining(f.dst()));
+        if (r <= Fabric::kRateEpsilon) continue;
+        rates.set(*c, f, f.rate() + r);
+        fabric.consume(f.src(), f.dst(), r);
+      }
+    }
+    // Conservation rates depend on the whole round's leftovers, so even
+    // replayed-missed CoFlows got fresh trajectories.
+    if (allow_replay) {
+      recross_.insert(recross_.end(), missed.begin(), missed.end());
+    }
+  }
+  stats_.conserve_ns += ns_since(t2);
+  admit_capacity_version_ = fabric.capacity_version();
+}
+
+void SaathScheduler::schedule(SimTime now,
+                              std::span<CoflowState* const> active,
                               Fabric& fabric, RateAssignment& rates) {
+  schedule(now, active, fabric, rates, SchedulerDelta{});
+}
+
+void SaathScheduler::schedule(SimTime now,
+                              std::span<CoflowState* const> active,
+                              Fabric& fabric, RateAssignment& rates,
+                              const SchedulerDelta& delta) {
   ++stats_.rounds;
+  // The delta path needs (a) the config switch, (b) a precise delta from a
+  // known stream, and (c) contention keys that are themselves
+  // delta-tracked — the compute_contention_grouped oracle is batch-only,
+  // so lcof without the spatial index always takes the full path (it IS
+  // the reference configuration).
+  const bool can_increment = config_.incremental_order && !delta.full &&
+                             delta.stream_id != 0 &&
+                             (!config_.lcof || config_.incremental_spatial);
+  if (!can_increment) {
+    primed_stream_ = 0;  // any cached structure is now untrustworthy
+    schedule_full(now, active, fabric, rates, /*prime=*/false);
+    return;
+  }
+  if (primed_stream_ != delta.stream_id) {
+    // First precise round of this stream: full recompute, then seed the
+    // incremental structures from its results. (Membership completeness
+    // afterwards is the delta producer's contract, enforced by the
+    // ENSURES at the end of schedule_delta.)
+    schedule_full(now, active, fabric, rates, /*prime=*/true);
+    primed_stream_ = delta.stream_id;
+    return;
+  }
+  ++stats_.delta_rounds;
+  schedule_delta(now, active, fabric, rates, delta);
+}
+
+void SaathScheduler::schedule_full(SimTime now,
+                                   std::span<CoflowState* const> active,
+                                   Fabric& fabric, RateAssignment& rates,
+                                   bool prime) {
   const auto t0 = Clock::now();
 
   assign_queues_and_deadlines(now, active, fabric.port_bandwidth());
@@ -242,22 +448,15 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
           compute_contention_grouped(active, fabric.num_ports(), queue_of);
     }
   }
+  // The from-scratch keys below subsume any recorded contention deltas.
+  spatial_.clear_contention_changes();
 
   // Order: queue asc, then deadline-expired CoFlows (earliest deadline
   // first), then LCoF (or FIFO), with (arrival, id) as the total-order tail.
-  struct Entry {
-    CoflowState* c;
-    int queue;
-    bool expired;
-    SimTime deadline;
-    std::int64_t key;  // contention (LCoF) or arrival (FIFO)
-  };
-  std::vector<Entry> order;
-  order.reserve(active.size());
+  prime_entries_.clear();
+  prime_entries_.reserve(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
     CoflowState* c = active[i];
-    const bool expired = config_.deadline_factor > 0 && c->deadline != kNever &&
-                         c->deadline <= now;
     std::int64_t key;
     if (!config_.lcof) {
       key = static_cast<std::int64_t>(c->arrival());
@@ -266,42 +465,67 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
     } else {
       key = oracle_contention[i];
     }
-    order.push_back({c, c->queue_index, expired, c->deadline, key});
+    prime_entries_.emplace_back(make_key(*c, now, key), c);
   }
-  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
-    // D5: expired CoFlows are prioritized ahead of everything — the
-    // FIFO-derived bound must hold even for CoFlows demoted to low queues,
-    // or wide CoFlows (whose contention never drops) starve.
-    if (a.expired != b.expired) return a.expired;
-    if (a.expired && a.deadline != b.deadline) return a.deadline < b.deadline;
-    if (a.queue != b.queue) return a.queue < b.queue;
-    if (a.key != b.key) return a.key < b.key;
-    if (a.c->arrival() != b.c->arrival()) return a.c->arrival() < b.c->arrival();
-    return a.c->id() < b.c->id();
-  });
+  std::sort(prime_entries_.begin(), prime_entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  if (prime) {
+    order_.rebuild(prime_entries_);
+    pending_deadlines_.clear();
+    volatile_.clear();
+    for (CoflowState* c : active) {
+      if (config_.deadline_factor > 0 && c->deadline != kNever &&
+          c->deadline > now) {
+        pending_deadlines_.insert({c->deadline, c->id()});
+      }
+      if (is_volatile(*c)) volatile_.insert(c->id());
+    }
+  } else {
+    // The oracle path must not depend on any index state: build the plain
+    // ordered view locally and run the reference admission over it.
+    order_scratch_.clear();
+    order_scratch_.reserve(prime_entries_.size());
+    for (const auto& [k, c] : prime_entries_) order_scratch_.push_back(c);
+  }
   stats_.order_ns += ns_since(t0);
 
-  // All-or-none admission in sorted order (Fig 7 lines 3–13).
+  recross_.clear();
+  if (prime) {
+    admit_and_conserve(now, fabric, rates, /*first_dirty_rank=*/0,
+                       /*allow_replay=*/false);
+    // Program every CoFlow's next threshold crossing off its final rates —
+    // the O(F·W) valid-until scan, paid once at prime instead of per epoch.
+    const auto t3 = Clock::now();
+    crossings_.clear();
+    for (CoflowState* c : active) program_crossing(*c, now);
+    stats_.crossing_ns += ns_since(t3);
+  } else {
+    admit_and_conserve_span(now, fabric, rates, order_scratch_);
+  }
+}
+
+void SaathScheduler::admit_and_conserve_span(
+    SimTime now, Fabric& fabric, RateAssignment& rates,
+    std::span<CoflowState* const> ordered) {
+  (void)now;
   const auto t1 = Clock::now();
-  std::vector<CoflowState*> missed;
-  for (const Entry& e : order) {
-    if (config_.respect_data_availability && !e.c->data_available) continue;
+  std::vector<CoflowState*>& missed = missed_scratch_;
+  missed.clear();
+  for (CoflowState* c : ordered) {
+    if (config_.respect_data_availability && !c->data_available) continue;
     if (!config_.all_or_none) {
-      // Ablation escape hatch: partial (per-flow greedy) allocation, i.e.
-      // the spatial coordination is switched off entirely.
-      allocate_greedy_fair(*e.c, fabric, rates);
+      allocate_greedy_fair(*c, fabric, rates);
       continue;
     }
-    if (all_ports_available(*e.c, fabric)) {
-      allocate_equal_rate(*e.c, fabric, rates);
+    if (all_ports_available(*c, fabric)) {
+      allocate_equal_rate(*c, fabric, rates);
     } else {
-      missed.push_back(e.c);
+      missed.push_back(c);
     }
   }
   stats_.admit_ns += ns_since(t1);
 
-  // Work conservation (Fig 7 lines 14, 18–23): missed CoFlows, in order,
-  // soak up whatever budget is left, flow by flow.
   const auto t2 = Clock::now();
   if (config_.work_conservation) {
     for (CoflowState* c : missed) {
@@ -318,7 +542,151 @@ void SaathScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
   stats_.conserve_ns += ns_since(t2);
 }
 
-SimTime SaathScheduler::schedule_valid_until(
+void SaathScheduler::schedule_delta(SimTime now,
+                                    std::span<CoflowState* const> active,
+                                    Fabric& fabric, RateAssignment& rates,
+                                    const SchedulerDelta& delta) {
+  const auto t0 = Clock::now();
+
+  // ---- 1. Gather this round's re-bucket candidates: a CoFlow's queue can
+  //         only move through a due threshold crossing, a dynamics event
+  //         (requeue), the §4.3 estimate (volatile), or by being new.
+  //         Plain-dirty CoFlows (completions, data flips) provably keep
+  //         their queue — they only need the admission-replay fence and,
+  //         for contention, the spatial drain below.
+  candidates_.clear();
+  candidate_ids_.clear();
+  touch_only_.clear();
+  const auto add_candidate = [&](CoflowState* c) {
+    if (candidate_ids_.insert(c->id()).second) candidates_.push_back(c);
+  };
+  const auto drop_finished = [&](CoflowState* c) {
+    pending_deadlines_.erase({c->deadline, c->id()});
+    forget_coflow(c->id());
+  };
+  for (CoflowState* c : delta.requeue) {
+    if (c->finished()) {
+      drop_finished(c);
+      continue;
+    }
+    add_candidate(c);
+  }
+  for (CoflowState* c : delta.dirty) {
+    if (c->finished()) {
+      drop_finished(c);
+      continue;
+    }
+    if (!order_.contains(c->id()) ||
+        (is_volatile(*c) && !volatile_.contains(c->id()))) {
+      // Arrival (needs its first bucket) or a flagged CoFlow whose first
+      // finished flow just armed the SRTF estimate.
+      add_candidate(c);
+    } else {
+      touch_only_.push_back(c);
+    }
+  }
+  crossings_.pop_due(now, [&](CoflowState* c) {
+    if (!c->finished()) add_candidate(c);
+  });
+  for (const CoflowId id : volatile_) {
+    add_candidate(order_.state_of(id));
+  }
+
+  // ---- 2. Re-bucket candidates (queue moves + arrivals join the
+  //         population / spatial index groups).
+  entered_.clear();
+  for (CoflowState* c : candidates_) {
+    const bool is_new = !order_.contains(c->id());
+    if (is_new) {
+      // Arrival the hooks may not have seen (direct injection): make the
+      // population and spatial membership whole before re-bucketing.
+      if (queue_tracked_.insert(c->id()).second) {
+        queue_population_.add(c->queue_index);
+      }
+      if (tracks_index() && !spatial_.contains(c->id())) {
+        spatial_.add_coflow(*c, c->queue_index);
+      }
+    }
+    const int q = target_queue(*c, now);
+    const bool fresh = c->deadline == kNever && config_.deadline_factor > 0;
+    if (q != c->queue_index || fresh) {
+      queue_population_.move(c->queue_index, q);
+      c->queue_index = q;
+      c->queue_entered_at = now;
+      entered_.push_back(c);
+    }
+    if (tracks_index()) spatial_.set_group(c->id(), c->queue_index);
+    if (is_volatile(*c)) volatile_.insert(c->id());
+  }
+
+  // ---- 3. Stamp D5 deadlines for entered CoFlows (post-move populations,
+  //         exactly like the full path), then expire due ones.
+  stamp_deadlines(now, entered_, fabric.port_bandwidth());
+  while (!pending_deadlines_.empty() &&
+         pending_deadlines_.begin()->first <= now) {
+    const CoflowId id = pending_deadlines_.begin()->second;
+    pending_deadlines_.erase(pending_deadlines_.begin());
+    if (order_.contains(id)) {
+      CoflowState* c = order_.state_of(id);
+      order_.update(id, make_key(*c, now, order_key_component(*c)));
+    }
+  }
+
+  // ---- 4. Re-key CoFlows whose contention the spatial index reports as
+  //         actually changed (completions since last round, this round's
+  //         group moves) — the O(changed log F) core of the refactor.
+  if (tracks_index()) {
+    for (const CoflowId id : spatial_.contention_changes()) {
+      if (!order_.contains(id) || candidate_ids_.contains(id)) continue;
+      CoflowState* c = order_.state_of(id);
+      order_.update(id, make_key(*c, now, spatial_.contention(id)));
+      ++stats_.rekeys;
+    }
+    spatial_.clear_contention_changes();
+  }
+
+  // ---- 5. Re-key + fence every candidate: update() dirties moved keys,
+  //         touch() fences same-key state changes out of admission replay.
+  //         Plain-dirty CoFlows kept their key — touch alone fences them.
+  for (CoflowState* c : candidates_) {
+    const OrderKey k = make_key(*c, now, order_key_component(*c));
+    if (order_.contains(c->id())) {
+      order_.update(c->id(), k);
+    } else {
+      order_.insert(c, k);
+    }
+    order_.touch(c->id());
+  }
+  for (CoflowState* c : touch_only_) {
+    order_.touch(c->id());
+  }
+
+  // ---- 6. Materialize, reusing the untouched sorted prefix.
+  const std::size_t first_dirty = order_.materialize();
+  stats_.candidates += static_cast<std::int64_t>(candidates_.size());
+  stats_.suffix_walked +=
+      static_cast<std::int64_t>(order_.size() - first_dirty);
+  stats_.order_ns += ns_since(t0);
+  SAATH_ENSURES(order_.size() == active.size());
+
+  // ---- 7. Admission (prefix replay) + work conservation. Candidates and
+  //         touched CoFlows all sit at ranks >= first_dirty (touch() lowers
+  //         the dirty floor to their key), so the admission pass itself
+  //         collects every trajectory that could have changed into recross_.
+  recross_.clear();
+  admit_and_conserve(now, fabric, rates, first_dirty, /*allow_replay=*/true);
+
+  // ---- 8. Re-program crossings for every CoFlow whose trajectory this
+  //         round touched; replayed-admitted CoFlows restored theirs
+  //         bit-exactly, so their entries still stand.
+  const auto t3 = Clock::now();
+  for (CoflowState* c : recross_) {
+    if (!c->finished()) program_crossing(*c, now);
+  }
+  stats_.crossing_ns += ns_since(t3);
+}
+
+SimTime SaathScheduler::valid_until_scan(
     SimTime now, std::span<CoflowState* const> active) const {
   // With no delta, the ordering inputs (queue index, contention, expired
   // set) drift only through (a) queue-threshold crossings as flows send at
@@ -329,37 +697,17 @@ SimTime SaathScheduler::schedule_valid_until(
   // kNever: kNever is -1 and would read as "already stale").
   SimTime until = std::numeric_limits<SimTime>::max();
   for (const CoflowState* c : active) {
-    if (config_.dynamics_srtf && c->dynamics_flagged &&
-        !c->finished_flow_lengths().empty()) {
+    if (is_volatile(*c)) {
       // §4.3 estimate path: m_c shrinks continuously with sent bytes, so
       // the queue can change any epoch — never skip while it is in play.
       return now;
     }
-    double cross_seconds = std::numeric_limits<double>::infinity();
-    if (config_.per_flow_threshold) {
-      // max_flow_sent crosses the per-flow bound when the first flow does.
-      const double bound =
-          queues_.hi_threshold(c->queue_index) / c->width();
-      if (std::isfinite(bound)) {
-        for (const auto& f : c->flows()) {
-          if (f.finished() || f.rate() <= 0) continue;
-          const double sent = f.sent(now);
-          if (sent >= bound) continue;
-          cross_seconds = std::min(cross_seconds, (bound - sent) / f.rate());
-        }
-      }
-    } else {
-      const double bound = queues_.hi_threshold(c->queue_index);
-      if (std::isfinite(bound)) {
-        double total_rate = 0;
-        for (const auto& f : c->flows()) {
-          if (!f.finished()) total_rate += f.rate();
-        }
-        if (total_rate > 0) {
-          cross_seconds = (bound - c->total_sent(now)) / total_rate;
-        }
-      }
-    }
+    const double cross_seconds =
+        config_.per_flow_threshold
+            ? per_flow_cross_seconds(
+                  *c, queues_.hi_threshold(c->queue_index) / c->width(), now)
+            : total_bytes_cross_seconds(
+                  *c, queues_.hi_threshold(c->queue_index), now);
     // 9e11 s ≈ 28k years of simulated time: beyond that treat the crossing
     // as never (and keep the µs conversion clear of int64 overflow).
     if (cross_seconds < 9e11) {
@@ -370,6 +718,20 @@ SimTime SaathScheduler::schedule_valid_until(
         c->deadline > now) {
       until = std::min(until, c->deadline);
     }
+  }
+  return until;
+}
+
+SimTime SaathScheduler::schedule_valid_until(
+    SimTime now, std::span<CoflowState* const> active) const {
+  if (primed_stream_ == 0) return valid_until_scan(now, active);
+  // Primed: the crossing heap and deadline set ARE the triggers — O(1).
+  if (!volatile_.empty()) return now;
+  SimTime until = std::numeric_limits<SimTime>::max();
+  const SimTime cross = crossings_.next();
+  if (cross != kNever) until = std::min(until, cross);
+  if (!pending_deadlines_.empty()) {
+    until = std::min(until, pending_deadlines_.begin()->first);
   }
   return until;
 }

@@ -21,12 +21,24 @@
 //
 // Every mechanism has a config switch so the Fig 10–12 ablations
 // (A/N+FIFO, A/N+PF+FIFO, full Saath) are just configurations.
+//
+// The schedule phase itself is delta-driven when the caller supplies a
+// SchedulerDelta (the engine does): the admission order lives in an
+// OrderIndex updated in O(log F) per event, queue reassignment pops due
+// threshold crossings from a QueueCrossingHeap instead of rescanning every
+// flow, and the all-or-none admission pass replays its cached decisions for
+// the untouched sorted prefix. Full-delta calls (tests, benchmarks driving
+// schedule() directly) take the classic scan+sort path, which doubles as
+// the bit-identity oracle behind SaathConfig::incremental_order = false.
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sched/order_index.h"
 #include "sched/queue_structure.h"
 #include "sim/scheduler.h"
 #include "spatial/contention.h"
@@ -54,6 +66,15 @@ struct SaathConfig {
   /// compute_contention_grouped oracle every round — kept as the reference
   /// implementation the property suite compares against.
   bool incremental_spatial = true;
+  /// Delta-driven schedule phase: maintain the admission order in an
+  /// OrderIndex, pop queue moves from the crossing heap, and replay
+  /// admission for the clean sorted prefix, instead of re-bucketing and
+  /// re-sorting every CoFlow each epoch. Off = the full scan+sort every
+  /// round — the bit-identity oracle, mirroring incremental_spatial's
+  /// oracle pattern. Only engine-style callers that supply precise
+  /// SchedulerDeltas reach the incremental path; full deltas always take
+  /// the oracle code regardless of this flag.
+  bool incremental_order = true;
 };
 
 /// Wall-clock cost of each coordinator phase, accumulated across rounds —
@@ -63,8 +84,19 @@ struct SaathPhaseStats {
   std::int64_t order_ns = 0;     // queue assignment + intra-queue ordering
   std::int64_t admit_ns = 0;     // all-or-none admission + rate assignment
   std::int64_t conserve_ns = 0;  // work conservation backfill
+  /// Next-crossing prediction (replaces the schedule_valid_until scan).
+  std::int64_t crossing_ns = 0;
+  /// Rounds served by the delta path (vs the full scan+sort).
+  std::int64_t delta_rounds = 0;
+  /// Admission ranks replayed from the cached prefix.
+  std::int64_t replayed_ranks = 0;
+  /// Delta-path churn diagnostics: re-bucketed candidates, order re-keys
+  /// (contention drain included), and materialized-suffix length.
+  std::int64_t candidates = 0;
+  std::int64_t rekeys = 0;
+  std::int64_t suffix_walked = 0;
   [[nodiscard]] std::int64_t total_ns() const {
-    return order_ns + admit_ns + conserve_ns;
+    return order_ns + admit_ns + conserve_ns + crossing_ns;
   }
 };
 
@@ -79,6 +111,9 @@ class SaathScheduler final : public Scheduler {
   using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
                 Fabric& fabric, RateAssignment& rates) override;
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric, RateAssignment& rates,
+                const SchedulerDelta& delta) override;
 
   /// Port-occupancy (and hence contention) only changes on these events;
   /// each applies an O(delta) update to the spatial index instead of
@@ -91,7 +126,9 @@ class SaathScheduler final : public Scheduler {
   /// Earliest time-only trigger that can reorder the schedule with no delta:
   /// a queue-threshold crossing at current rates or a starvation deadline
   /// expiring. Lets the engine skip quiescent epochs (§4 Table 2: the
-  /// coordinator only works when the spatial state moved).
+  /// coordinator only works when the spatial state moved). O(1) off the
+  /// crossing heap + deadline set once the delta path primed them; the
+  /// pre-index O(F·W) scan remains as the unprimed fallback.
   [[nodiscard]] SimTime schedule_valid_until(
       SimTime now, std::span<CoflowState* const> active) const override;
 
@@ -101,6 +138,9 @@ class SaathScheduler final : public Scheduler {
   [[nodiscard]] const spatial::SpatialIndex& spatial_index() const {
     return spatial_;
   }
+  /// The delta-maintained admission order (tests compare its materialized
+  /// sequence against the full sort). Live only after a precise-delta round.
+  [[nodiscard]] const OrderIndex& order_index() const { return order_; }
 
   /// Exposed for tests: the §4.3 remaining-work estimate m_c (median
   /// finished length minus bytes sent as of `now`, maxed over unfinished
@@ -109,18 +149,83 @@ class SaathScheduler final : public Scheduler {
       const CoflowState& coflow, SimTime now);
 
  private:
+  /// All-or-none admission outcome for one rank of the materialized order;
+  /// replayed verbatim while the sorted prefix is untouched.
+  struct AdmitDecision {
+    enum class Kind : std::uint8_t {
+      kSkippedUnavailable,
+      kAdmitted,
+      kMissed,
+      kGreedy,  // !all_or_none ablation — never replayed
+    };
+    Kind kind = Kind::kMissed;
+    Rate rate = 0;
+  };
+
+  /// Classic full recompute: re-buckets every CoFlow, rebuilds contention
+  /// keys, sorts, admits. When `prime` is set, additionally (re)seeds the
+  /// delta structures (order index, crossing heap, deadline set, admission
+  /// cache) so the next precise-delta round can run incrementally.
+  void schedule_full(SimTime now, std::span<CoflowState* const> active,
+                     Fabric& fabric, RateAssignment& rates, bool prime);
+  /// Delta path: only CoFlows named by the delta, due crossings, due
+  /// deadlines and recorded contention changes are re-keyed.
+  void schedule_delta(SimTime now, std::span<CoflowState* const> active,
+                      Fabric& fabric, RateAssignment& rates,
+                      const SchedulerDelta& delta);
+
   /// Re-buckets every CoFlow (Eq. 1 / total-bytes / §4.3 estimate),
   /// applying queue moves as deltas to queue_population_, and stamps D5
   /// deadlines for CoFlows that entered a queue.
   void assign_queues_and_deadlines(SimTime now,
                                    std::span<CoflowState* const> active,
                                    Rate port_bandwidth);
+  /// The queue the full path would assign `c` this round.
+  [[nodiscard]] int target_queue(const CoflowState& c, SimTime now) const;
+  /// D5 stamp for every CoFlow that entered a queue this round, using the
+  /// post-move populations; maintains the pending-deadline set.
+  void stamp_deadlines(SimTime now, std::span<CoflowState* const> entered,
+                       Rate port_bandwidth);
   [[nodiscard]] bool all_ports_available(const CoflowState& c,
                                          const Fabric& fabric) const;
   /// D2: one equal rate for every unfinished flow of c (min max-min share
   /// over its ports); consumes fabric budget. Returns the rate.
   Rate allocate_equal_rate(CoflowState& c, Fabric& fabric,
                            RateAssignment& rates) const;
+  /// Replays a cached admission: applies `rate` to every unfinished flow
+  /// without recomputing the max-min share.
+  void replay_equal_rate(CoflowState& c, Rate rate, Fabric& fabric,
+                         RateAssignment& rates) const;
+  /// Admission + work conservation over the materialized order, replaying
+  /// cached decisions for ranks below `first_dirty_rank` when sound; also
+  /// records this round's decisions and collects CoFlows needing a crossing
+  /// re-program into recross_.
+  void admit_and_conserve(SimTime now, Fabric& fabric, RateAssignment& rates,
+                          std::size_t first_dirty_rank, bool allow_replay);
+  /// Oracle-path admission + conservation over a plain ordered span — no
+  /// caching, no index state (the reference implementation).
+  void admit_and_conserve_span(SimTime now, Fabric& fabric,
+                               RateAssignment& rates,
+                               std::span<CoflowState* const> ordered);
+
+  /// The composite admission-order key the sort/index both use.
+  [[nodiscard]] OrderKey make_key(const CoflowState& c, SimTime now,
+                                  std::int64_t contention_key) const;
+  /// c's LCoF/FIFO key component under the current config.
+  [[nodiscard]] std::int64_t order_key_component(const CoflowState& c) const;
+
+  /// Predicts c's next queue-threshold crossing at current rates and
+  /// programs it into the heap (kNever cancels). Mirrors the valid-until
+  /// scan's arithmetic, minus a 1µs guard so float rounding can only make
+  /// the prediction early (a spurious recompute), never late (divergence).
+  void program_crossing(CoflowState& c, SimTime now);
+  /// §4.3 estimate in play: the queue can change any epoch.
+  [[nodiscard]] bool is_volatile(const CoflowState& c) const;
+  /// Drops every trace of a finished CoFlow from the delta structures.
+  void forget_coflow(CoflowId id);
+  /// Pre-index O(F·W) valid-until scan (the unprimed fallback).
+  [[nodiscard]] SimTime valid_until_scan(
+      SimTime now, std::span<CoflowState* const> active) const;
 
   /// True when the spatial index is the live LCoF source.
   [[nodiscard]] bool tracks_index() const {
@@ -129,6 +234,9 @@ class SaathScheduler final : public Scheduler {
   /// Brings the index in line with `active`: adds CoFlows the lifecycle
   /// hooks never saw (snapshot/bench use), refreshes any whose occupancy
   /// mutated behind the index's back, rebuilds wholesale on set mismatch.
+  /// O(1) when nothing anywhere could have drifted since the last call
+  /// (same active span, no index mutation, no CoflowState occupancy event
+  /// process-wide); the O(F) probe runs otherwise.
   void sync_spatial(std::span<CoflowState* const> active);
 
   SaathConfig config_;
@@ -141,6 +249,39 @@ class SaathScheduler final : public Scheduler {
   QueuePopulation queue_population_;
   /// CoFlows counted in queue_population_ (guards unpaired hook calls).
   std::unordered_set<CoflowId> queue_tracked_;
+
+  // --- delta-driven schedule-phase state (live only between precise-delta
+  //     rounds of one stream; a full delta or new stream re-primes) -------
+  OrderIndex order_;
+  QueueCrossingHeap crossings_;
+  /// Unexpired D5 deadlines, ordered; head feeds schedule_valid_until.
+  std::set<std::pair<SimTime, CoflowId>> pending_deadlines_;
+  /// CoFlows on the §4.3 estimate path (dynamics-flagged with finished
+  /// flows): re-bucketed every round, and the skip is disabled while any
+  /// exist — exactly the full path's behavior.
+  std::unordered_set<CoflowId> volatile_;
+  /// Admission decisions aligned with the last materialized order.
+  std::vector<AdmitDecision> admit_cache_;
+  /// Fabric::capacity_version() the cached admissions were computed under.
+  std::uint64_t admit_capacity_version_ = ~std::uint64_t{0};
+  /// Delta stream the structures were primed for (0 = not primed).
+  std::uint64_t primed_stream_ = 0;
+  /// Scratch (kept across rounds to reuse capacity).
+  std::vector<CoflowState*> candidates_;
+  std::unordered_set<CoflowId> candidate_ids_;
+  /// Dirty CoFlows that provably kept their key (fence only).
+  std::vector<CoflowState*> touch_only_;
+  std::vector<CoflowState*> entered_;
+  std::vector<std::pair<OrderKey, CoflowState*>> prime_entries_;
+  std::vector<CoflowState*> order_scratch_;
+  std::vector<CoflowState*> missed_scratch_;
+  /// CoFlows whose trajectory this round changed → crossing re-program.
+  std::vector<CoflowState*> recross_;
+  /// sync_spatial O(1)-probe snapshots.
+  const CoflowState* const* sync_active_data_ = nullptr;
+  std::size_t sync_active_size_ = 0;
+  std::uint64_t sync_spatial_mutations_ = ~std::uint64_t{0};
+  std::uint64_t sync_occupancy_epoch_ = ~std::uint64_t{0};
 };
 
 }  // namespace saath

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -23,6 +24,11 @@ using Clock = std::chrono::steady_clock;
       .count();
 }
 
+/// One delta stream per Engine: atomic so concurrent engines (tests run
+/// several) never alias, which would let a reused scheduler trust stale
+/// caches across runs.
+std::atomic<std::uint64_t> g_delta_stream{0};
+
 }  // namespace
 
 Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
@@ -35,6 +41,10 @@ Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
   for (const auto& spec : trace_.coflows) pending_.push(spec);
   result_.scheduler = scheduler_.name();
   result_.trace = trace_.name;
+  // The engine delivers every state change through the lifecycle hooks and
+  // the dirty-set, so its deltas are precise from the first epoch on.
+  delta_.full = false;
+  delta_.stream_id = ++g_delta_stream;
 }
 
 void Engine::add_dynamics_event(DynamicsEvent event) {
@@ -74,6 +84,7 @@ void Engine::admit_arrivals() {
     // before any rate assignment ever touches them.
     push_completion_events(*state);
     scheduler_.on_coflow_arrival(*state, now_);
+    delta_.mark(state.get());
     all_coflows_.push_back(std::move(state));
     schedule_dirty_ = true;
   }
@@ -83,6 +94,7 @@ void Engine::admit_arrivals() {
     const auto it = data_available_at_.find(c->id());
     if (it == data_available_at_.end() || it->second <= now_) {
       c->data_available = true;
+      delta_.mark(c);
       schedule_dirty_ = true;
     }
   }
@@ -106,6 +118,7 @@ void Engine::process_dynamics() {
           }
           if (c->restart_flows_on_port(ev.port, now_) > 0) {
             c->dynamics_flagged = true;
+            delta_.mark_requeue(c);
             // The restart invalidated the flows' queued events. Normal
             // flows re-enter the heap when a schedule rates them again,
             // but a zero-byte flow keeps a valid finish instant with no
@@ -123,6 +136,7 @@ void Engine::process_dynamics() {
           for (const auto& f : c->flows()) {
             if (!f.finished() && (f.src() == ev.port || f.dst() == ev.port)) {
               c->dynamics_flagged = true;
+              delta_.mark_requeue(c);
               break;
             }
           }
@@ -142,7 +156,8 @@ void Engine::compute_schedule() {
   // begin_epoch zeroes exactly the flows the previous epoch rated — the
   // old O(all flows) blank-slate loop is gone.
   rates_.begin_epoch(now_);
-  scheduler_.schedule(now_, active_, fabric_, rates_);
+  scheduler_.schedule(now_, active_, fabric_, rates_, delta_);
+  delta_.clear_marks();
   // §4.3 un-availability: a schedule handed to a CoFlow whose data is not
   // ready wastes the slot — the rates are nullified but the port budget the
   // scheduler spent is NOT refunded.
@@ -239,6 +254,7 @@ void Engine::complete_flow(CoflowState& coflow, FlowState& flow, SimTime at) {
   rates_.flow_stopped(flow);
   coflow.on_flow_complete(flow, at);
   scheduler_.on_flow_complete(coflow, flow, at);
+  delta_.mark(&coflow);
   schedule_dirty_ = true;
   ++stats_.flow_completions;
 }

@@ -154,6 +154,12 @@ class Engine {
   std::unordered_map<CoflowId, SimTime> data_available_at_;
   CompletionCallback completion_callback_;
 
+  /// Dirty-set handed to the scheduler at each compute_schedule(): every
+  /// CoFlow whose state changed since the previous call (arrivals,
+  /// completions, dynamics, data flips) is marked, so delta-aware
+  /// schedulers re-key only those. Cleared after each handoff.
+  SchedulerDelta delta_;
+
   SimResult result_;
   EngineStats stats_;
   SimTime now_ = 0;

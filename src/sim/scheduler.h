@@ -14,14 +14,56 @@
 // blank slate.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "coflow/coflow.h"
 #include "fabric/fabric.h"
 #include "sim/rate_assignment.h"
 
 namespace saath {
+
+/// Dirty-set the engine accumulates between scheduling epochs and hands to
+/// delta-aware schedulers: exactly which CoFlows' simulation state changed
+/// since the last schedule() call, so incremental schedulers re-key only
+/// those in their maintained structures instead of rescanning the world.
+///
+/// Invariant the producer must uphold: between two schedule() calls
+/// carrying the same `stream_id` with `full == false`, every CoFlow whose
+/// state mutated (arrival, flow/CoFlow completion, dynamics restart or
+/// straggler flag, data-availability flip) appears in `dirty`. Duplicates
+/// and already-finished CoFlows are allowed; consumers dedup and skip.
+/// Port-capacity changes are NOT reported here — schedulers watch
+/// Fabric::capacity_version() for those.
+struct SchedulerDelta {
+  /// Unknown provenance (direct drivers, tests): the scheduler must
+  /// distrust every cache keyed on prior calls. Default-constructed deltas
+  /// are full, so legacy call paths stay conservative.
+  bool full = true;
+  /// Identifies the delta stream (one per Engine run). A scheduler seeing
+  /// a new stream id must treat its caches as stale even if `full` is
+  /// false — e.g. a scheduler reused across two Engine instances. 0 is
+  /// reserved for "no stream".
+  std::uint64_t stream_id = 0;
+  /// CoFlows whose state changed since the last schedule() of this stream
+  /// in ways that cannot move their queue metric (arrivals, completions,
+  /// data-availability flips): consumers must re-fence cached decisions
+  /// but may keep the CoFlow's queue placement.
+  std::vector<CoflowState*> dirty;
+  /// CoFlows whose queue metric itself may have moved outside the fluid
+  /// model (dynamics: restarts lose progress, straggler flags arm the §4.3
+  /// SRTF estimate): consumers must re-bucket these.
+  std::vector<CoflowState*> requeue;
+
+  void mark(CoflowState* c) { dirty.push_back(c); }
+  void mark_requeue(CoflowState* c) { requeue.push_back(c); }
+  void clear_marks() {
+    dirty.clear();
+    requeue.clear();
+  }
+};
 
 class Scheduler {
  public:
@@ -32,6 +74,17 @@ class Scheduler {
   /// Computes the rate assignment for this epoch through `rates`.
   virtual void schedule(SimTime now, std::span<CoflowState* const> active,
                         Fabric& fabric, RateAssignment& rates) = 0;
+
+  /// Delta-aware entry point the engine drives: `delta` scopes exactly
+  /// which CoFlows changed since the previous call, letting incremental
+  /// schedulers skip unchanged state. The default ignores the delta and
+  /// runs the plain epoch — schedulers opt in by overriding.
+  virtual void schedule(SimTime now, std::span<CoflowState* const> active,
+                        Fabric& fabric, RateAssignment& rates,
+                        const SchedulerDelta& delta) {
+    (void)delta;
+    schedule(now, active, fabric, rates);
+  }
 
   /// Convenience for direct drivers (tests, benchmarks) without an engine:
   /// zeroes every flow's rate at `now` (blank slate) and runs the epoch

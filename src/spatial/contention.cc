@@ -4,6 +4,12 @@
 
 namespace saath::spatial {
 
+void SpatialIndex::note_contention_change(CoflowId id, Entry& e) {
+  if (e.change_stamp == change_epoch_) return;
+  e.change_stamp = change_epoch_;
+  changes_.push_back(id);
+}
+
 void SpatialIndex::add_overlap(CoflowId a, Entry& ea, CoflowId b) {
   Entry& eb = entries_.at(b);
   const int ov = ++ea.overlap[b];
@@ -11,6 +17,8 @@ void SpatialIndex::add_overlap(CoflowId a, Entry& ea, CoflowId b) {
   if (ov == 1 && ea.group == eb.group) {
     ++ea.contention;
     ++eb.contention;
+    note_contention_change(a, ea);
+    note_contention_change(b, eb);
   }
 }
 
@@ -28,12 +36,15 @@ void SpatialIndex::drop_overlap(CoflowId a, Entry& ea, CoflowId b) {
       SAATH_EXPECTS(ea.contention > 0 && eb.contention > 0);
       --ea.contention;
       --eb.contention;
+      note_contention_change(a, ea);
+      note_contention_change(b, eb);
     }
   }
 }
 
 void SpatialIndex::add_coflow(const CoflowState& c, int group) {
   SAATH_EXPECTS(!contains(c.id()));
+  ++mutations_;
   Entry& e = entries_[c.id()];
   e.group = group;
   e.version = c.occupancy_version();
@@ -50,6 +61,7 @@ void SpatialIndex::add_coflow(const CoflowState& c, int group) {
 void SpatialIndex::remove_coflow(CoflowId id) {
   const auto it = entries_.find(id);
   SAATH_EXPECTS(it != entries_.end());
+  ++mutations_;
   // Leaving every still-occupied bucket drains the overlap map pair by
   // pair; a finished CoFlow occupies nothing and drops straight out.
   const auto& left = occupancy_.remove_coflow(id);
@@ -68,6 +80,7 @@ void SpatialIndex::on_flow_complete(const CoflowState& c,
   const CoflowId id = c.id();
   const auto it = entries_.find(id);
   SAATH_EXPECTS(it != entries_.end());
+  ++mutations_;
   it->second.version = c.occupancy_version();
   const SlotDelta delta =
       occupancy_.on_flow_complete(id, flow.src(), flow.dst());
@@ -98,6 +111,7 @@ bool SpatialIndex::in_sync(const CoflowState& c) const {
 void SpatialIndex::set_group(CoflowId id, int group) {
   Entry& e = entries_.at(id);
   if (e.group == group) return;
+  ++mutations_;
   for (const auto& [d, ov] : e.overlap) {
     SAATH_EXPECTS(ov > 0);
     Entry& ed = entries_.at(d);
@@ -106,9 +120,13 @@ void SpatialIndex::set_group(CoflowId id, int group) {
     if (was_same && !now_same) {
       --e.contention;
       --ed.contention;
+      note_contention_change(id, e);
+      note_contention_change(d, ed);
     } else if (!was_same && now_same) {
       ++e.contention;
       ++ed.contention;
+      note_contention_change(id, e);
+      note_contention_change(d, ed);
     }
   }
   e.group = group;
@@ -122,9 +140,16 @@ int SpatialIndex::group_of(CoflowId id) const {
   return entries_.at(id).group;
 }
 
+void SpatialIndex::clear_contention_changes() {
+  changes_.clear();
+  ++change_epoch_;
+}
+
 void SpatialIndex::clear() {
   occupancy_.clear();
   entries_.clear();
+  clear_contention_changes();
+  ++mutations_;
 }
 
 }  // namespace saath::spatial

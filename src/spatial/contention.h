@@ -21,7 +21,10 @@
 // event.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "spatial/occupancy.h"
 
@@ -53,6 +56,23 @@ class SpatialIndex {
   [[nodiscard]] int contention(CoflowId id) const;
   [[nodiscard]] int group_of(CoflowId id) const;
 
+  /// CoFlows whose k_c value changed since the last
+  /// clear_contention_changes(), deduplicated. This is what lets an order
+  /// index re-key only the CoFlows a completion or queue move actually
+  /// perturbed: every ++/-- of an Entry's contention records its id here.
+  /// May contain CoFlows that were since removed — consumers skip absent
+  /// ids. Unbounded until cleared, so delta consumers must drain it every
+  /// round (non-consumers can ignore it; add/remove churn caps it at the
+  /// live population between clears... it is cleared by clear() too).
+  [[nodiscard]] std::span<const CoflowId> contention_changes() const {
+    return changes_;
+  }
+  void clear_contention_changes();
+
+  /// Bumped on every membership mutation (add/remove/flow completion/
+  /// group move). O(1) probe for "has anything changed since I looked".
+  [[nodiscard]] std::uint64_t mutation_count() const { return mutations_; }
+
   [[nodiscard]] bool contains(CoflowId id) const {
     return entries_.find(id) != entries_.end();
   }
@@ -67,15 +87,22 @@ class SpatialIndex {
     int contention = 0;
     /// CoflowState::occupancy_version at index time.
     std::uint64_t version = 0;
+    /// change_epoch_ value when this entry last landed in changes_
+    /// (dedup stamp; ~0 = never).
+    std::uint64_t change_stamp = ~std::uint64_t{0};
     /// neighbor -> number of shared occupied port slots.
     std::unordered_map<CoflowId, int> overlap;
   };
 
   void add_overlap(CoflowId a, Entry& ea, CoflowId b);
   void drop_overlap(CoflowId a, Entry& ea, CoflowId b);
+  void note_contention_change(CoflowId id, Entry& e);
 
   OccupancyIndex occupancy_;
   std::unordered_map<CoflowId, Entry> entries_;
+  std::vector<CoflowId> changes_;
+  std::uint64_t change_epoch_ = 0;
+  std::uint64_t mutations_ = 0;
 };
 
 }  // namespace saath::spatial
