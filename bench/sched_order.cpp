@@ -61,8 +61,14 @@ struct SnapshotMeasurement {
   double order_ns_per_round = 0;
   double crossing_ns_per_round = 0;
   double admit_ns_per_round = 0;
+  double conserve_ns_per_round = 0;
   std::int64_t delta_rounds = 0;
   std::int64_t replayed_ranks = 0;
+  std::int64_t backfill_rounds = 0;
+  std::int64_t backfill_candidates = 0;
+  std::int64_t backfill_missed = 0;
+  std::int64_t backfill_flows = 0;
+  std::int64_t conserve_replays = 0;
   std::vector<std::size_t> digests;
 };
 
@@ -144,8 +150,15 @@ SnapshotMeasurement run_snapshot(int coflows, int rounds, bool incremental) {
       static_cast<double>(st.crossing_ns - warm.crossing_ns) / rounds_measured;
   m.admit_ns_per_round =
       static_cast<double>(st.admit_ns - warm.admit_ns) / rounds_measured;
+  m.conserve_ns_per_round =
+      static_cast<double>(st.conserve_ns - warm.conserve_ns) / rounds_measured;
   m.delta_rounds = st.delta_rounds;
   m.replayed_ranks = st.replayed_ranks;
+  m.backfill_rounds = st.backfill_rounds;
+  m.backfill_candidates = st.backfill_candidates;
+  m.backfill_missed = st.backfill_missed;
+  m.backfill_flows = st.backfill_flows;
+  m.conserve_replays = st.conserve_replays;
   return m;
 }
 
@@ -202,6 +215,10 @@ int run(int argc, char** argv) {
   const double order_ratio = inc.order_ns_per_round > 0
                                  ? full.order_ns_per_round / inc.order_ns_per_round
                                  : 0;
+  const double conserve_ratio =
+      inc.conserve_ns_per_round > 0
+          ? full.conserve_ns_per_round / inc.conserve_ns_per_round
+          : 0;
 
   std::printf("%-26s %14s %14s\n", "snapshot (per round)", "delta-driven",
               "full sort");
@@ -209,13 +226,23 @@ int run(int argc, char** argv) {
               full.order_ns_per_round);
   std::printf("%-26s %14.0f %14.0f\n", "admit ns", inc.admit_ns_per_round,
               full.admit_ns_per_round);
+  std::printf("%-26s %14.0f %14.0f\n", "conserve ns", inc.conserve_ns_per_round,
+              full.conserve_ns_per_round);
   std::printf("%-26s %14.0f %14s\n", "crossing ns", inc.crossing_ns_per_round,
               "-");
   std::printf("order-phase ratio: %.1fx   delta rounds: %lld   "
-              "replayed ranks: %lld   rates identical: %s\n\n",
+              "replayed ranks: %lld   rates identical: %s\n",
               order_ratio, static_cast<long long>(inc.delta_rounds),
               static_cast<long long>(inc.replayed_ranks),
               identical ? "yes" : "NO");
+  std::printf("conserve-phase ratio: %.1fx   backfill rounds: %lld   "
+              "candidates/missed: %lld/%lld   flows walked: %lld   "
+              "conserve replays: %lld\n\n",
+              conserve_ratio, static_cast<long long>(inc.backfill_rounds),
+              static_cast<long long>(inc.backfill_candidates),
+              static_cast<long long>(inc.backfill_missed),
+              static_cast<long long>(inc.backfill_flows),
+              static_cast<long long>(inc.conserve_replays));
 
   trace::SynthConfig tcfg;
   tcfg.num_ports = 150;
@@ -262,10 +289,15 @@ int run(int argc, char** argv) {
       "  \"snapshot\": {\n"
       "    \"incremental\": {\"order_ns_per_round\": %.1f, "
       "\"crossing_ns_per_round\": %.1f, \"admit_ns_per_round\": %.1f, "
-      "\"delta_rounds\": %lld, \"replayed_ranks\": %lld},\n"
+      "\"conserve_ns_per_round\": %.1f, "
+      "\"delta_rounds\": %lld, \"replayed_ranks\": %lld, "
+      "\"backfill_rounds\": %lld, \"backfill_candidates\": %lld, "
+      "\"backfill_missed\": %lld, \"backfill_flows\": %lld, "
+      "\"conserve_replays\": %lld},\n"
       "    \"full\": {\"order_ns_per_round\": %.1f, "
-      "\"admit_ns_per_round\": %.1f},\n"
-      "    \"order_ratio\": %.2f\n"
+      "\"admit_ns_per_round\": %.1f, \"conserve_ns_per_round\": %.1f},\n"
+      "    \"order_ratio\": %.2f,\n"
+      "    \"conserve_ratio\": %.2f\n"
       "  },\n"
       "  \"engine\": {\n"
       "    \"coflows\": 526,\n"
@@ -279,9 +311,15 @@ int run(int argc, char** argv) {
       "}\n",
       coflows, rounds, identical ? "true" : "false", inc.order_ns_per_round,
       inc.crossing_ns_per_round, inc.admit_ns_per_round,
-      static_cast<long long>(inc.delta_rounds),
-      static_cast<long long>(inc.replayed_ranks), full.order_ns_per_round,
-      full.admit_ns_per_round, order_ratio, e_inc.wall_ms, e_inc.epochs,
+      inc.conserve_ns_per_round, static_cast<long long>(inc.delta_rounds),
+      static_cast<long long>(inc.replayed_ranks),
+      static_cast<long long>(inc.backfill_rounds),
+      static_cast<long long>(inc.backfill_candidates),
+      static_cast<long long>(inc.backfill_missed),
+      static_cast<long long>(inc.backfill_flows),
+      static_cast<long long>(inc.conserve_replays), full.order_ns_per_round,
+      full.admit_ns_per_round, full.conserve_ns_per_round, order_ratio,
+      conserve_ratio, e_inc.wall_ms, e_inc.epochs,
       e_inc.epochs_per_sec, e_inc.order_us_per_round,
       static_cast<long long>(e_inc.delta_rounds),
       static_cast<long long>(e_inc.replayed_ranks), e_full.wall_ms,

@@ -204,6 +204,34 @@ CoflowState::CoflowState(const CoflowSpec& spec, FlowId first_flow_id)
   }
   sender_order_ = sorted_slots(senders_);
   receiver_order_ = sorted_slots(receivers_);
+  // Group flow indices by port slot (CSR): counting pass, prefix sum, fill
+  // in flow order — which leaves every per-slot list ascending, the order
+  // the backfill's merged walk depends on.
+  const auto build_csr = [this](const std::vector<PortLoad>& loads,
+                                const std::vector<std::uint32_t>& order,
+                                std::vector<std::uint32_t>& slot_flows,
+                                std::vector<std::uint32_t>& slot_begin,
+                                const bool senders) {
+    slot_begin.assign(loads.size() + 1, 0);
+    for (const auto& f : flows_) {
+      const int s = find_slot(loads, order, senders ? f.src() : f.dst());
+      ++slot_begin[static_cast<std::size_t>(s) + 1];
+    }
+    for (std::size_t s = 1; s < slot_begin.size(); ++s) {
+      slot_begin[s] += slot_begin[s - 1];
+    }
+    slot_flows.resize(flows_.size());
+    std::vector<std::uint32_t> fill(loads.size(), 0);
+    for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+      const auto s = static_cast<std::size_t>(find_slot(
+          loads, order, senders ? flows_[i].src() : flows_[i].dst()));
+      slot_flows[slot_begin[s] + fill[s]++] = i;
+    }
+  };
+  build_csr(senders_, sender_order_, sender_slot_flows_, sender_slot_begin_,
+            true);
+  build_csr(receivers_, receiver_order_, receiver_slot_flows_,
+            receiver_slot_begin_, false);
   unfinished_ = static_cast<int>(flows_.size());
   g_occupancy_epoch.fetch_add(1, std::memory_order_relaxed);
 }

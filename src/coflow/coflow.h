@@ -201,6 +201,26 @@ class CoflowState {
   [[nodiscard]] int unfinished_on_sender(PortIndex port) const;
   [[nodiscard]] int unfinished_on_receiver(PortIndex port) const;
 
+  /// Indices into flows() of the flows sourced at sender_loads()[slot].port
+  /// (resp. sinked at receiver_loads()[slot].port), ascending. The
+  /// flow->port mapping is immutable, so the lists are built once at
+  /// construction; finished flows stay listed and callers skip them. This
+  /// is the per-port flow membership the work-conservation backfill joins
+  /// against residually-live ports — without it, reaching "the flows on
+  /// port p" means scanning every flow.
+  [[nodiscard]] std::span<const std::uint32_t> sender_slot_flows(
+      std::size_t slot) const {
+    return std::span<const std::uint32_t>(sender_slot_flows_)
+        .subspan(sender_slot_begin_[slot],
+                 sender_slot_begin_[slot + 1] - sender_slot_begin_[slot]);
+  }
+  [[nodiscard]] std::span<const std::uint32_t> receiver_slot_flows(
+      std::size_t slot) const {
+    return std::span<const std::uint32_t>(receiver_slot_flows_)
+        .subspan(receiver_slot_begin_[slot],
+                 receiver_slot_begin_[slot + 1] - receiver_slot_begin_[slot]);
+  }
+
   /// Bumped on every port-occupancy change (currently: each flow
   /// completion). Incremental consumers compare it against the version they
   /// indexed to detect state mutated behind their back.
@@ -298,6 +318,12 @@ class CoflowState {
   /// order is observable).
   std::vector<std::uint32_t> sender_order_;
   std::vector<std::uint32_t> receiver_order_;
+  /// CSR layout of flow indices grouped by sender / receiver slot (see
+  /// sender_slot_flows): begin_[s]..begin_[s+1] bound slot s's flows.
+  std::vector<std::uint32_t> sender_slot_flows_;
+  std::vector<std::uint32_t> sender_slot_begin_;
+  std::vector<std::uint32_t> receiver_slot_flows_;
+  std::vector<std::uint32_t> receiver_slot_begin_;
   std::vector<double> finished_lengths_;
   /// finished_lengths_.size() the cached median was computed at; 0 = none.
   mutable std::size_t median_for_count_ = 0;

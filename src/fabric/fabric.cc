@@ -11,16 +11,46 @@ Fabric::Fabric(int num_ports, Rate port_bandwidth)
       port_bandwidth_(port_bandwidth),
       capacity_factor_(static_cast<std::size_t>(num_ports), 1.0),
       send_remaining_(static_cast<std::size_t>(num_ports), port_bandwidth),
-      recv_remaining_(static_cast<std::size_t>(num_ports), port_bandwidth) {
+      recv_remaining_(static_cast<std::size_t>(num_ports), port_bandwidth),
+      send_live_pos_(static_cast<std::size_t>(num_ports), -1),
+      recv_live_pos_(static_cast<std::size_t>(num_ports), -1) {
   SAATH_EXPECTS(num_ports > 0);
   SAATH_EXPECTS(port_bandwidth > 0);
+  reset();
+}
+
+void Fabric::live_insert(std::vector<PortIndex>& live,
+                         std::vector<std::int32_t>& pos, PortIndex p) {
+  pos[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(live.size());
+  live.push_back(p);
+}
+
+void Fabric::live_remove(std::vector<PortIndex>& live,
+                         std::vector<std::int32_t>& pos, PortIndex p) {
+  const std::int32_t at = pos[static_cast<std::size_t>(p)];
+  const PortIndex moved = live.back();
+  live[static_cast<std::size_t>(at)] = moved;
+  live.pop_back();
+  pos[static_cast<std::size_t>(moved)] = at;
+  pos[static_cast<std::size_t>(p)] = -1;
 }
 
 void Fabric::reset() {
+  ++residual_epoch_;
+  send_live_.clear();
+  recv_live_.clear();
   for (PortIndex p = 0; p < num_ports_; ++p) {
     const auto i = static_cast<std::size_t>(p);
-    send_remaining_[i] = port_bandwidth_ * capacity_factor_[i];
-    recv_remaining_[i] = port_bandwidth_ * capacity_factor_[i];
+    const Rate budget = port_bandwidth_ * capacity_factor_[i];
+    send_remaining_[i] = budget;
+    recv_remaining_[i] = budget;
+    if (budget > kRateEpsilon) {
+      live_insert(send_live_, send_live_pos_, p);
+      live_insert(recv_live_, recv_live_pos_, p);
+    } else {
+      send_live_pos_[i] = -1;
+      recv_live_pos_[i] = -1;
+    }
   }
 }
 
@@ -74,11 +104,27 @@ void Fabric::consume(PortIndex src, PortIndex dst, Rate rate) {
   SAATH_EXPECTS(rate <= r + slack);
   s = std::max(0.0, s - rate);
   r = std::max(0.0, r - rate);
+  // Live-set maintenance: a port leaves the residual view the moment its
+  // budget crosses the epsilon every allocator gates on. O(1), and the only
+  // place besides reset() that touches the sets — budgets never grow
+  // mid-epoch.
+  if (s <= kRateEpsilon && send_is_live(src)) {
+    live_remove(send_live_, send_live_pos_, src);
+  }
+  if (r <= kRateEpsilon && recv_is_live(dst)) {
+    live_remove(recv_live_, recv_live_pos_, dst);
+  }
 }
 
 Rate Fabric::total_allocated() const {
+  // Used capacity is measured against each port's *effective* (derating-
+  // scaled) budget — the nominal bandwidth would overstate usage on
+  // straggler-derated ports, whose budgets start below it.
   Rate used = 0;
-  for (Rate rem : send_remaining_) used += port_bandwidth_ - rem;
+  for (PortIndex p = 0; p < num_ports_; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    used += port_bandwidth_ * capacity_factor_[i] - send_remaining_[i];
+  }
   return used;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -57,18 +58,56 @@ class Fabric {
     return capacity_version_;
   }
 
+  /// Residual-budget view: the ports whose remaining budget still exceeds
+  /// kRateEpsilon, iterable without scanning the exhausted majority. A port
+  /// leaves its set the moment consume() drains it past the epsilon and
+  /// rejoins at the next reset() (piggybacking on the budget reseed — no
+  /// extra scan); membership order is unspecified but deterministic. This
+  /// is what lets work-conservation backfill walk only (live port x missed
+  /// flow) pairs instead of every missed CoFlow's flows.
+  [[nodiscard]] std::span<const PortIndex> send_live() const {
+    return send_live_;
+  }
+  [[nodiscard]] std::span<const PortIndex> recv_live() const {
+    return recv_live_;
+  }
+  [[nodiscard]] bool send_is_live(PortIndex p) const {
+    return send_live_pos_[static_cast<std::size_t>(p)] >= 0;
+  }
+  [[nodiscard]] bool recv_is_live(PortIndex p) const {
+    return recv_live_pos_[static_cast<std::size_t>(p)] >= 0;
+  }
+  /// Bumped by every reset(): one residual epoch per budget reseed — the
+  /// window within which the live sets drain monotonically. A consumer
+  /// that wanted to carry live-set-derived state across rounds would fence
+  /// on this; the current backfill recomputes its join inside each epoch
+  /// and its conservation cache fences on capacity_version() plus
+  /// admission-stream equality instead, so today this is observability
+  /// (tests cross-check it) rather than a load-bearing fence.
+  [[nodiscard]] std::uint64_t residual_epoch() const { return residual_epoch_; }
+
   /// Rounding slack used by all schedulers when comparing rates to zero.
   static constexpr Rate kRateEpsilon = 1e-6;
 
  private:
   void check_port(PortIndex p) const;
+  void live_insert(std::vector<PortIndex>& live, std::vector<std::int32_t>& pos,
+                   PortIndex p);
+  void live_remove(std::vector<PortIndex>& live, std::vector<std::int32_t>& pos,
+                   PortIndex p);
 
   int num_ports_;
   Rate port_bandwidth_;
   std::uint64_t capacity_version_ = 0;
+  std::uint64_t residual_epoch_ = 0;
   std::vector<double> capacity_factor_;
   std::vector<Rate> send_remaining_;
   std::vector<Rate> recv_remaining_;
+  /// Live-port sets with O(1) swap-removal; pos == -1 means exhausted.
+  std::vector<PortIndex> send_live_;
+  std::vector<PortIndex> recv_live_;
+  std::vector<std::int32_t> send_live_pos_;
+  std::vector<std::int32_t> recv_live_pos_;
 };
 
 }  // namespace saath

@@ -31,7 +31,9 @@ void PipelinedScheduler::apply(const Assignment& assignment,
       // physical capacity (a straggler may have slowed the port meanwhile).
       const Rate r = std::min({it->second, fabric.send_remaining(f.src()),
                                fabric.recv_remaining(f.dst())});
-      if (r <= 0) continue;
+      // Same epsilon gate as every allocator: a vanishing enforced rate is
+      // pure rate-version churn, never throughput.
+      if (r <= Fabric::kRateEpsilon) continue;
       rates.set(*c, f, r);
       fabric.consume(f.src(), f.dst(), r);
     }

@@ -14,14 +14,18 @@ double allocate_greedy_fair(CoflowState& c, Fabric& fabric,
   // Shares are computed against the budget *before* this CoFlow consumes
   // anything, then each flow is additionally capped by its receiver's
   // live budget (consumed sequentially).
+  // Vanishing shares are gated on the fabric-wide epsilon, not on exact
+  // zero: a sub-epsilon rate moves no meaningful bytes but would still
+  // churn the flow's rate version — and with it trajectory_version()
+  // memoization and the crossing heap — every epoch.
   for (const auto& load : c.sender_loads()) {
     if (load.unfinished_flows == 0) continue;
     const Rate share = fabric.send_remaining(load.port) / load.unfinished_flows;
-    if (share <= 0) continue;
+    if (share <= Fabric::kRateEpsilon) continue;
     for (auto& f : c.flows()) {
       if (f.finished() || f.src() != load.port) continue;
       const Rate r = std::min(share, fabric.recv_remaining(f.dst()));
-      if (r <= 0) continue;
+      if (r <= Fabric::kRateEpsilon) continue;
       rates.set(c, f, f.rate() + r);
       fabric.consume(f.src(), f.dst(), r);
       granted += r;
@@ -61,7 +65,7 @@ bool allocate_madd(CoflowState& c, Fabric& fabric, RateAssignment& rates) {
     Rate r = f.remaining(now) / gamma;
     r = std::min({r, fabric.send_remaining(f.src()),
                   fabric.recv_remaining(f.dst())});
-    if (r <= 0) continue;
+    if (r <= Fabric::kRateEpsilon) continue;  // same epsilon as every gate
     rates.set(c, f, f.rate() + r);
     fabric.consume(f.src(), f.dst(), r);
   }

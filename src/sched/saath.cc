@@ -322,6 +322,23 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
   const bool replay = allow_replay && config_.all_or_none &&
                       fabric.capacity_version() == admit_capacity_version_ &&
                       admit_cache_.size() >= first_dirty_rank;
+  // Conservation reuse: if every rank of this round's admission stream —
+  // coflow, decision, rate, occupancy version — matches the stream the
+  // conservation cache was recorded under, the budgets at conservation
+  // start are byte-identical (consumption is replayed per flow in the same
+  // order) and the missed walk would visit the same unfinished flows, so
+  // the cached allocations replay exactly. Replayed ranks match by the
+  // clean-prefix guarantee; only recomputed ranks are compared. The
+  // allow_replay term keeps stale pointers from ever being compared: a
+  // prime re-records the whole stream before any delta round can match.
+  const bool conserve_track = config_.work_conservation &&
+                              config_.all_or_none &&
+                              config_.incremental_backfill;
+  bool conserve_match =
+      conserve_track && allow_replay && conserve_cache_valid_ &&
+      fabric.capacity_version() == conserve_capacity_version_ &&
+      rank_records_.size() == ordered.size();
+  if (conserve_track) rank_records_.resize(ordered.size());
   admit_cache_.resize(ordered.size());
   std::vector<CoflowState*>& missed = missed_scratch_;
   missed.clear();
@@ -353,6 +370,15 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
       missed.push_back(c);
     }
     admit_cache_[rank] = d;
+    if (conserve_track) {
+      RankRecord& rec = rank_records_[rank];
+      if (conserve_match &&
+          (rec.coflow != c || rec.kind != d.kind || rec.rate != d.rate ||
+           rec.occupancy != c->occupancy_version())) {
+        conserve_match = false;
+      }
+      rec = RankRecord{c, d.kind, d.rate, c->occupancy_version()};
+    }
     // Delta rounds re-derive crossings only for changed trajectories; the
     // prime path reprograms every CoFlow wholesale and skips collection.
     if (allow_replay) recross_.push_back(c);
@@ -360,18 +386,146 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
   stats_.admit_ns += ns_since(t1);
 
   // Work conservation (Fig 7 lines 14, 18–23): missed CoFlows, in order,
-  // soak up whatever budget is left, flow by flow.
+  // soak up whatever budget is left.
   const auto t2 = Clock::now();
   if (config_.work_conservation) {
-    for (CoflowState* c : missed) {
-      for (auto& f : c->flows()) {
-        if (f.finished()) continue;
+    if (conserve_match && conserve_cache_valid_) {
+      // Quiescent admission prefix: the recorded allocations ARE this
+      // round's allocations; skip the join and the walk entirely.
+      for (const ConserveRecord& rec : conserve_cache_) {
+        rates.set(*rec.coflow, *rec.flow, rec.flow->rate() + rec.rate);
+        fabric.consume(rec.flow->src(), rec.flow->dst(), rec.rate);
+      }
+      ++stats_.conserve_replays;
+    } else {
+      if (conserve_track) conserve_cache_.clear();
+      // Port-indexed backfill: only missed CoFlows occupying a live sender
+      // AND a live receiver can receive budget; everything else is exactly
+      // the dense loop's `r <= eps` skip, hoisted out of the flow walk.
+      // Liveness only shrinks during the walk, so the join computed at the
+      // start over-approximates safely, and an empty side means no flow
+      // anywhere can clear the epsilon — the dense loop would allocate
+      // nothing more.
+      const bool indexed = config_.incremental_backfill && tracks_index();
+      // Candidate gating has two regimes. Drained (few live ports, the
+      // state the backfill converges to): join the residual sets against
+      // the occupancy index once — O(live-bucket memberships) — and gate
+      // on the resulting set. Contended (many live ports): a per-CoFlow
+      // scan of its own port slots exits on the first live one, which is
+      // near-O(1) per CoFlow and beats paying the join's hash lookups for
+      // a set almost every CoFlow is in. Both gates over-approximate the
+      // same condition (a flow with both endpoints live exists), so the
+      // walk is byte-identical either way.
+      bool use_join = false;
+      if (indexed && !missed.empty()) {
+        ++stats_.backfill_rounds;
+        stats_.backfill_missed += static_cast<std::int64_t>(missed.size());
+        use_join = (fabric.send_live().size() + fabric.recv_live().size()) * 4 <
+                   missed.size();
+        if (use_join) {
+          backfill_ids_.clear();
+          spatial_.occupancy().collect_live_occupants(
+              fabric.send_live(), fabric.recv_live(), backfill_ids_);
+          backfill_set_.clear();
+          for (const CoflowId id : backfill_ids_) backfill_set_.insert(id);
+        }
+      }
+      const auto try_alloc = [&](CoflowState* c, FlowState& f) {
+        if (f.finished()) return;
         const Rate r = std::min(fabric.send_remaining(f.src()),
                                 fabric.recv_remaining(f.dst()));
-        if (r <= Fabric::kRateEpsilon) continue;
+        if (r <= Fabric::kRateEpsilon) return;
         rates.set(*c, f, f.rate() + r);
         fabric.consume(f.src(), f.dst(), r);
+        if (conserve_track) conserve_cache_.push_back({c, &f, r});
+      };
+      const auto any_live_slot = [&fabric](std::span<const PortLoad> loads,
+                                           bool senders) {
+        for (const PortLoad& l : loads) {
+          if (l.unfinished_flows == 0) continue;
+          if (senders ? fabric.send_is_live(l.port)
+                      : fabric.recv_is_live(l.port)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      for (CoflowState* c : missed) {
+        if (indexed) {
+          if (fabric.send_live().empty() || fabric.recv_live().empty()) break;
+          if (use_join ? !backfill_set_.contains(c->id())
+                       : (!any_live_slot(c->sender_loads(), true) ||
+                          !any_live_slot(c->receiver_loads(), false))) {
+            continue;
+          }
+          ++stats_.backfill_candidates;
+          // Flow-level cut: flows on an exhausted port can never clear the
+          // epsilon (budgets only shrink during the walk), so gather the
+          // more-drained side's live-slot flow lists — filtering the other
+          // endpoint on the way — and merge them back into ascending flow
+          // order, the dense loop's visit order. A first O(slots) pass
+          // sizes both sides; the gather's per-flow cost is a small
+          // multiple of the plain walk's, so it only pays off when at most
+          // a quarter of the flows survive the side filter — shallow cuts
+          // (uncontended rounds) keep the plain walk.
+          const auto send_loads = c->sender_loads();
+          const auto recv_loads = c->receiver_loads();
+          const std::size_t listed = c->flows().size();
+          std::size_t live_src_flows = 0;
+          std::size_t live_dst_flows = 0;
+          for (std::size_t s = 0; s < send_loads.size(); ++s) {
+            if (send_loads[s].unfinished_flows > 0 &&
+                fabric.send_is_live(send_loads[s].port)) {
+              live_src_flows += c->sender_slot_flows(s).size();
+            }
+          }
+          for (std::size_t s = 0; s < recv_loads.size(); ++s) {
+            if (recv_loads[s].unfinished_flows > 0 &&
+                fabric.recv_is_live(recv_loads[s].port)) {
+              live_dst_flows += c->receiver_slot_flows(s).size();
+            }
+          }
+          if (std::min(live_src_flows, live_dst_flows) * 4 <= listed) {
+            backfill_flow_idx_.clear();
+            if (live_src_flows <= live_dst_flows) {
+              for (std::size_t s = 0; s < send_loads.size(); ++s) {
+                if (send_loads[s].unfinished_flows == 0 ||
+                    !fabric.send_is_live(send_loads[s].port)) {
+                  continue;
+                }
+                for (const std::uint32_t i : c->sender_slot_flows(s)) {
+                  if (fabric.recv_is_live(c->flows()[i].dst())) {
+                    backfill_flow_idx_.push_back(i);
+                  }
+                }
+              }
+            } else {
+              for (std::size_t s = 0; s < recv_loads.size(); ++s) {
+                if (recv_loads[s].unfinished_flows == 0 ||
+                    !fabric.recv_is_live(recv_loads[s].port)) {
+                  continue;
+                }
+                for (const std::uint32_t i : c->receiver_slot_flows(s)) {
+                  if (fabric.send_is_live(c->flows()[i].src())) {
+                    backfill_flow_idx_.push_back(i);
+                  }
+                }
+              }
+            }
+            std::sort(backfill_flow_idx_.begin(), backfill_flow_idx_.end());
+            stats_.backfill_flows +=
+                static_cast<std::int64_t>(backfill_flow_idx_.size());
+            for (const std::uint32_t i : backfill_flow_idx_) {
+              try_alloc(c, c->flows()[i]);
+            }
+            continue;
+          }
+          stats_.backfill_flows += static_cast<std::int64_t>(listed);
+        }
+        for (auto& f : c->flows()) try_alloc(c, f);
       }
+      conserve_cache_valid_ = conserve_track;
+      conserve_capacity_version_ = fabric.capacity_version();
     }
     // Conservation rates depend on the whole round's leftovers, so even
     // replayed-missed CoFlows got fresh trajectories.
@@ -404,6 +558,7 @@ void SaathScheduler::schedule(SimTime now,
                              (!config_.lcof || config_.incremental_spatial);
   if (!can_increment) {
     primed_stream_ = 0;  // any cached structure is now untrustworthy
+    conserve_cache_valid_ = false;
     schedule_full(now, active, fabric, rates, /*prime=*/false);
     return;
   }

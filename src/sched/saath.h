@@ -75,6 +75,18 @@ struct SaathConfig {
   /// SchedulerDeltas reach the incremental path; full deltas always take
   /// the oracle code regardless of this flag.
   bool incremental_order = true;
+  /// Port-indexed work-conservation backfill: instead of rescanning every
+  /// missed CoFlow's flows against (mostly exhausted) port budgets, join
+  /// the fabric's residual live-port sets against the occupancy index and
+  /// walk only missed CoFlows that still touch a live sender AND a live
+  /// receiver, in admission order, stopping when the residuals drain. Also
+  /// enables wholesale conservation replay on rounds whose admission
+  /// decision stream is provably unchanged. Off = the dense flow-by-flow
+  /// loop every round — the bit-identity oracle, mirroring the PR 1–3
+  /// pattern. The port join itself needs the occupancy index (lcof +
+  /// incremental_spatial) and the incremental schedule path; configs
+  /// without them keep the dense loop regardless.
+  bool incremental_backfill = true;
 };
 
 /// Wall-clock cost of each coordinator phase, accumulated across rounds —
@@ -95,6 +107,17 @@ struct SaathPhaseStats {
   std::int64_t candidates = 0;
   std::int64_t rekeys = 0;
   std::int64_t suffix_walked = 0;
+  /// Conserve-phase split: rounds that ran the port-indexed backfill,
+  /// missed CoFlows the live-port join actually surfaced on those rounds
+  /// (vs backfill_missed, all missed CoFlows the dense loop would have
+  /// walked), and rounds served wholesale from the conservation cache.
+  std::int64_t backfill_rounds = 0;
+  std::int64_t backfill_candidates = 0;
+  std::int64_t backfill_missed = 0;
+  /// Flow visits the indexed walk actually performed (the dense loop would
+  /// have visited every unfinished flow of every missed CoFlow).
+  std::int64_t backfill_flows = 0;
+  std::int64_t conserve_replays = 0;
   [[nodiscard]] std::int64_t total_ns() const {
     return order_ns + admit_ns + conserve_ns + crossing_ns;
   }
@@ -162,6 +185,29 @@ class SaathScheduler final : public Scheduler {
     Rate rate = 0;
   };
 
+  /// One rank of the last incremental round's admission stream: which
+  /// CoFlow sat at the rank, what was decided, and its occupancy version
+  /// (the unfinished-flow-set fingerprint). Element-wise equality of two
+  /// rounds' streams — with an unchanged capacity version — proves the
+  /// fabric budgets at conservation start are byte-identical AND the missed
+  /// walk would visit the same flows, so the cached conservation
+  /// allocations replay exactly.
+  struct RankRecord {
+    CoflowState* coflow = nullptr;
+    AdmitDecision::Kind kind = AdmitDecision::Kind::kMissed;
+    Rate rate = 0;
+    std::uint64_t occupancy = 0;
+  };
+
+  /// One work-conservation allocation: `rate` is the budget consumed (the
+  /// flow's pre-conservation rate is provably 0, so it is also the rate
+  /// set).
+  struct ConserveRecord {
+    CoflowState* coflow = nullptr;
+    FlowState* flow = nullptr;
+    Rate rate = 0;
+  };
+
   /// Classic full recompute: re-buckets every CoFlow, rebuilds contention
   /// keys, sorts, admits. When `prime` is set, additionally (re)seeds the
   /// delta structures (order index, crossing heap, deadline set, admission
@@ -199,7 +245,11 @@ class SaathScheduler final : public Scheduler {
   /// Admission + work conservation over the materialized order, replaying
   /// cached decisions for ranks below `first_dirty_rank` when sound; also
   /// records this round's decisions and collects CoFlows needing a crossing
-  /// re-program into recross_.
+  /// re-program into recross_. The conservation pass walks only missed
+  /// CoFlows on residually-live ports (incremental_backfill + occupancy
+  /// index), or replays the cached allocations wholesale when the whole
+  /// admission stream is provably unchanged; the dense flow-by-flow loop
+  /// remains the fallback and the oracle.
   void admit_and_conserve(SimTime now, Fabric& fabric, RateAssignment& rates,
                           std::size_t first_dirty_rank, bool allow_replay);
   /// Oracle-path admission + conservation over a plain ordered span — no
@@ -277,6 +327,24 @@ class SaathScheduler final : public Scheduler {
   std::vector<CoflowState*> missed_scratch_;
   /// CoFlows whose trajectory this round changed → crossing re-program.
   std::vector<CoflowState*> recross_;
+  // --- conservation reuse across quiescent admission prefixes ------------
+  /// Admission decision stream of the round conserve_cache_ was recorded
+  /// for; prefix-replayed ranks are untouched by construction, so only
+  /// recomputed ranks are compared/refreshed each round.
+  std::vector<RankRecord> rank_records_;
+  /// The recorded conservation allocations, replayed wholesale when this
+  /// round's stream matched rank_records_ element-wise (pointers included)
+  /// under an unchanged Fabric::capacity_version(). Invalidated by any
+  /// full-path round (prime re-records from scratch).
+  std::vector<ConserveRecord> conserve_cache_;
+  bool conserve_cache_valid_ = false;
+  std::uint64_t conserve_capacity_version_ = 0;
+  /// Port-indexed backfill scratch: the live-port join's occupant ids,
+  /// their set view for the in-order missed walk, and the merged per-slot
+  /// flow indices of one candidate.
+  std::vector<CoflowId> backfill_ids_;
+  std::unordered_set<CoflowId> backfill_set_;
+  std::vector<std::uint32_t> backfill_flow_idx_;
   /// sync_spatial O(1)-probe snapshots.
   const CoflowState* const* sync_active_data_ = nullptr;
   std::size_t sync_active_size_ = 0;

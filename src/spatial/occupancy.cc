@@ -85,6 +85,32 @@ std::span<const CoflowId> OccupancyIndex::members(std::int64_t bucket) const {
   return it->second.members;
 }
 
+void OccupancyIndex::collect_live_occupants(
+    std::span<const PortIndex> live_senders,
+    std::span<const PortIndex> live_receivers,
+    std::vector<CoflowId>& out) const {
+  // Two-pass stamp intersection: mark every occupant of a live sender slot,
+  // then emit (once) every marked occupant of a live receiver slot. A
+  // CoFlow missing from either side cannot have a flow with both endpoints
+  // live, so skipping it is exact for any budget-gated consumer.
+  const std::uint64_t sender_mark = ++join_epoch_;
+  for (const PortIndex p : live_senders) {
+    for (const CoflowId id : members(sender_bucket(p))) {
+      coflows_.find(id)->second.join_stamp = sender_mark;
+    }
+  }
+  const std::uint64_t emitted_mark = ++join_epoch_;
+  for (const PortIndex p : live_receivers) {
+    for (const CoflowId id : members(receiver_bucket(p))) {
+      const Slots& slots = coflows_.find(id)->second;
+      if (slots.join_stamp == sender_mark) {
+        slots.join_stamp = emitted_mark;
+        out.push_back(id);
+      }
+    }
+  }
+}
+
 std::size_t OccupancyIndex::occupied_slots(CoflowId id) const {
   const auto it = coflows_.find(id);
   return it == coflows_.end() ? 0 : it->second.unfinished.size();

@@ -63,6 +63,17 @@ class OccupancyIndex {
   /// mutations). Empty span for untouched buckets.
   [[nodiscard]] std::span<const CoflowId> members(std::int64_t bucket) const;
 
+  /// Residual-budget join (the work-conservation backfill's spatial half):
+  /// appends to `out` every distinct CoFlow that occupies at least one of
+  /// `live_senders` AND at least one of `live_receivers` — the necessary
+  /// condition for any of its flows to have both endpoints unexhausted.
+  /// Cost is O(memberships of the live ports); output order is
+  /// deterministic but unspecified (callers impose their own order).
+  /// Logically const: only the dedup stamps mutate.
+  void collect_live_occupants(std::span<const PortIndex> live_senders,
+                              std::span<const PortIndex> live_receivers,
+                              std::vector<CoflowId>& out) const;
+
   /// Distinct buckets `id` still occupies.
   [[nodiscard]] std::size_t occupied_slots(CoflowId id) const;
 
@@ -77,6 +88,9 @@ class OccupancyIndex {
   struct Slots {
     /// bucket key -> unfinished flows of this CoFlow on that slot.
     std::unordered_map<std::int64_t, int> unfinished;
+    /// collect_live_occupants dedup stamp (two epochs per call: seen on a
+    /// live sender, then emitted). Mutable bookkeeping, not index state.
+    mutable std::uint64_t join_stamp = 0;
   };
 
   void join(CoflowId id, std::int64_t bucket);
@@ -86,6 +100,8 @@ class OccupancyIndex {
   std::unordered_map<CoflowId, Slots> coflows_;
   /// Scratch returned by add_coflow/remove_coflow (valid until next call).
   std::vector<std::int64_t> touched_;
+  /// Monotone epoch source for the join stamps.
+  mutable std::uint64_t join_epoch_ = 0;
 };
 
 }  // namespace saath::spatial

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "fabric/fabric.h"
 #include "fabric/maxmin.h"
 
@@ -60,6 +63,93 @@ TEST(Fabric, CapacityFactorScalesBudget) {
   f.set_port_capacity_factor(1, 1.0);
   f.reset();
   EXPECT_DOUBLE_EQ(f.send_remaining(1), 100.0);
+}
+
+TEST(Fabric, TotalAllocatedRespectsDerating) {
+  // Regression: used capacity was computed against the NOMINAL bandwidth
+  // (port_bandwidth - remaining) while reset seeds the derated budget, so a
+  // 0.25-factor port looked 75% used before a single byte was allocated.
+  Fabric f(2, 100.0);
+  f.set_port_capacity_factor(0, 0.25);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.total_allocated(), 0.0);
+  f.consume(0, 1, 10.0);  // derated uplink: 10 of the 25 budget
+  EXPECT_DOUBLE_EQ(f.total_allocated(), 10.0);
+  f.consume(1, 1, 50.0);  // full-capacity uplink alongside it
+  EXPECT_DOUBLE_EQ(f.total_allocated(), 60.0);
+}
+
+TEST(Fabric, ResidualLiveSetsTrackConsumption) {
+  Fabric f(3, 100.0);
+  EXPECT_EQ(f.send_live().size(), 3u);
+  EXPECT_EQ(f.recv_live().size(), 3u);
+  const std::uint64_t epoch0 = f.residual_epoch();
+
+  // Partial consumption keeps both ends live.
+  f.consume(0, 1, 40.0);
+  EXPECT_TRUE(f.send_is_live(0));
+  EXPECT_TRUE(f.recv_is_live(1));
+
+  // Draining past the epsilon removes exactly the drained directions.
+  f.consume(0, 1, 60.0);
+  EXPECT_FALSE(f.send_is_live(0));
+  EXPECT_FALSE(f.recv_is_live(1));
+  EXPECT_TRUE(f.recv_is_live(0));  // downlink of machine 0 untouched
+  EXPECT_TRUE(f.send_is_live(1));
+  EXPECT_EQ(f.send_live().size(), 2u);
+  EXPECT_EQ(f.recv_live().size(), 2u);
+
+  // reset() re-seeds the sets and opens a new residual epoch.
+  f.reset();
+  EXPECT_GT(f.residual_epoch(), epoch0);
+  EXPECT_EQ(f.send_live().size(), 3u);
+  EXPECT_TRUE(f.send_is_live(0));
+
+  // A zero-capacity (failed) port never joins the live sets.
+  f.set_port_capacity_factor(2, 0.0);
+  f.reset();
+  EXPECT_FALSE(f.send_is_live(2));
+  EXPECT_FALSE(f.recv_is_live(2));
+  EXPECT_EQ(f.send_live().size(), 2u);
+}
+
+TEST(Fabric, ResidualLiveSetMatchesScanUnderChurn) {
+  // Property: after any consume/reset sequence, the maintained sets agree
+  // with a from-scratch scan of the remaining budgets.
+  Fabric f(8, 100.0);
+  f.set_port_capacity_factor(5, 0.3);
+  f.reset();
+  std::uint64_t rng = 42;
+  const auto next = [&rng](std::uint64_t mod) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return (rng >> 33) % mod;
+  };
+  const auto check = [&f] {
+    int live_send = 0;
+    int live_recv = 0;
+    for (PortIndex p = 0; p < f.num_ports(); ++p) {
+      const bool s_live = f.send_remaining(p) > Fabric::kRateEpsilon;
+      const bool r_live = f.recv_remaining(p) > Fabric::kRateEpsilon;
+      ASSERT_EQ(f.send_is_live(p), s_live) << "send port " << p;
+      ASSERT_EQ(f.recv_is_live(p), r_live) << "recv port " << p;
+      live_send += s_live ? 1 : 0;
+      live_recv += r_live ? 1 : 0;
+    }
+    ASSERT_EQ(f.send_live().size(), static_cast<std::size_t>(live_send));
+    ASSERT_EQ(f.recv_live().size(), static_cast<std::size_t>(live_recv));
+    for (const PortIndex p : f.send_live()) ASSERT_TRUE(f.send_is_live(p));
+    for (const PortIndex p : f.recv_live()) ASSERT_TRUE(f.recv_is_live(p));
+  };
+  for (int step = 0; step < 300; ++step) {
+    if (step % 37 == 0) f.reset();
+    const auto src = static_cast<PortIndex>(next(8));
+    const auto dst = static_cast<PortIndex>(next(8));
+    const Rate budget =
+        std::min(f.send_remaining(src), f.recv_remaining(dst));
+    const Rate r = budget * (next(5) == 0 ? 1.0 : 0.4);
+    f.consume(src, dst, r);
+    check();
+  }
 }
 
 TEST(MaxMin, SingleFlowGetsFullPort) {

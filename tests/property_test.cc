@@ -6,7 +6,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "sched/aalo.h"
@@ -384,6 +386,205 @@ TEST_P(SpatialRefactor, SkipIsNoOpForAlwaysRecomputeSchedulers) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpatialRefactor,
                          ::testing::Values(5, 17, 29, 41, 53));
+
+// ---------------------------------------------------------------------------
+// Port-indexed work-conservation backfill: the residual-set-driven walk (and
+// the wholesale conservation replay it enables) must be indistinguishable
+// from the dense missed-list rescan across the skip × event × order mode
+// matrix, under plain runs, heavy load and dynamics churn alike.
+
+struct BackfillParam {
+  std::uint64_t seed;
+  const char* scheduler;  // "saath" (backfill toggled) or "aalo" (guard)
+  bool skip;
+  bool event;
+  bool order;
+};
+
+void PrintTo(const BackfillParam& p, std::ostream* os) {
+  *os << p.scheduler << "/seed" << p.seed << (p.skip ? "/skip" : "/noskip")
+      << (p.event ? "/event" : "/oracle")
+      << (p.order ? "/incorder" : "/fullorder");
+}
+
+void expect_identical_results(const SimResult& a, const SimResult& b,
+                              const char* label) {
+  ASSERT_EQ(a.coflows.size(), b.coflows.size()) << label;
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    ASSERT_EQ(a.coflows[i].id, b.coflows[i].id) << label << " coflow " << i;
+    ASSERT_EQ(a.coflows[i].finish, b.coflows[i].finish)
+        << label << " coflow " << i;
+    ASSERT_EQ(a.coflows[i].flow_fcts_seconds, b.coflows[i].flow_fcts_seconds)
+        << label << " coflow " << i;
+  }
+}
+
+class BackfillProperty : public ::testing::TestWithParam<BackfillParam> {
+ protected:
+  [[nodiscard]] trace::Trace make() const {
+    return trace::synth_small_trace(10, 60, GetParam().seed);
+  }
+  [[nodiscard]] SimConfig config() const {
+    SimConfig cfg;
+    cfg.port_bandwidth = 1e6;
+    cfg.delta = msec(20);
+    cfg.skip_quiescent_epochs = GetParam().skip;
+    cfg.event_driven = GetParam().event;
+    return cfg;
+  }
+  /// For "saath", the pair differs only in incremental_backfill; for
+  /// "aalo" (which has no backfill) the pair is incremental-order vs the
+  /// full sort — guarding the shared admit/alloc plumbing this PR touched.
+  [[nodiscard]] std::unique_ptr<Scheduler> scheduler(bool variant) const {
+    if (std::string(GetParam().scheduler) == "aalo") {
+      AaloConfig cfg;
+      cfg.incremental_order = variant && GetParam().order;
+      return std::make_unique<AaloScheduler>(cfg);
+    }
+    SaathConfig cfg;
+    cfg.incremental_order = GetParam().order;
+    cfg.incremental_backfill = variant;
+    return std::make_unique<SaathScheduler>(cfg);
+  }
+};
+
+TEST_P(BackfillProperty, IndexedBackfillMatchesDenseOracle) {
+  const auto t = make();
+  auto on = scheduler(true);
+  auto off = scheduler(false);
+  const auto r_on = simulate(t, *on, config());
+  const auto r_off = simulate(t, *off, config());
+  expect_identical_results(r_on, r_off, GetParam().scheduler);
+}
+
+// Heavy churn: compressed arrivals keep most CoFlows missed, so the
+// backfill carries most of the allocation every round.
+TEST_P(BackfillProperty, IndexedBackfillMatchesDenseOracleUnderLoad) {
+  auto t = make();
+  t = t.scaled_arrivals(8.0);
+  auto on = scheduler(true);
+  auto off = scheduler(false);
+  const auto r_on = simulate(t, *on, config());
+  const auto r_off = simulate(t, *off, config());
+  expect_identical_results(r_on, r_off, GetParam().scheduler);
+}
+
+// Dynamics: stragglers move Fabric::capacity_version (fencing both the
+// admission replay and the conservation cache) and failures reshuffle the
+// missed set mid-stream.
+TEST_P(BackfillProperty, IndexedBackfillMatchesDenseOracleUnderDynamics) {
+  const auto t = make();
+  auto run = [&](bool variant) {
+    auto sched = scheduler(variant);
+    Engine engine(t, *sched, config());
+    engine.add_dynamics_event(
+        {seconds(2), DynamicsEvent::Kind::kNodeFailure, 1, 1.0});
+    engine.add_dynamics_event(
+        {seconds(3), DynamicsEvent::Kind::kStragglerStart, 4, 0.3});
+    engine.add_dynamics_event(
+        {seconds(6), DynamicsEvent::Kind::kStragglerEnd, 4, 1.0});
+    engine.add_dynamics_event(
+        {seconds(7), DynamicsEvent::Kind::kNodeFailure, 2, 1.0});
+    return engine.run();
+  };
+  expect_identical_results(run(true), run(false), GetParam().scheduler);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, BackfillProperty,
+    ::testing::Values(
+        BackfillParam{7, "saath", true, true, true},
+        BackfillParam{7, "saath", true, true, false},
+        BackfillParam{7, "saath", true, false, true},
+        BackfillParam{7, "saath", true, false, false},
+        BackfillParam{7, "saath", false, true, true},
+        BackfillParam{7, "saath", false, true, false},
+        BackfillParam{7, "saath", false, false, true},
+        BackfillParam{7, "saath", false, false, false},
+        BackfillParam{21, "saath", true, true, true},
+        BackfillParam{35, "saath", false, true, true},
+        BackfillParam{7, "aalo", true, true, true},
+        BackfillParam{7, "aalo", false, true, true},
+        BackfillParam{7, "aalo", true, false, true},
+        BackfillParam{21, "aalo", false, false, true}),
+    [](const ::testing::TestParamInfo<BackfillParam>& info) {
+      std::string name = info.param.scheduler;
+      return name + "_seed" + std::to_string(info.param.seed) +
+             (info.param.skip ? "_skip" : "_noskip") +
+             (info.param.event ? "_event" : "_oracle") +
+             (info.param.order ? "_incorder" : "_fullorder");
+    });
+
+/// Forwards the engine's precise deltas (so the indexed backfill actually
+/// runs) and, after every round, cross-checks the fabric's residual live
+/// sets against a from-scratch scan of the remaining budgets.
+class ResidualSetObserver final : public Scheduler {
+ public:
+  std::string name() const override { return inner_.name(); }
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric, RateAssignment& rates) override {
+    inner_.schedule(now, active, fabric, rates);
+    verify(fabric);
+  }
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric, RateAssignment& rates,
+                const SchedulerDelta& delta) override {
+    inner_.schedule(now, active, fabric, rates, delta);
+    verify(fabric);
+  }
+  SimTime schedule_valid_until(
+      SimTime now, std::span<CoflowState* const> active) const override {
+    return inner_.schedule_valid_until(now, active);
+  }
+  void on_coflow_arrival(CoflowState& c, SimTime now) override {
+    inner_.on_coflow_arrival(c, now);
+  }
+  void on_flow_complete(CoflowState& c, FlowState& f, SimTime now) override {
+    inner_.on_flow_complete(c, f, now);
+  }
+  void on_coflow_complete(CoflowState& c, SimTime now) override {
+    inner_.on_coflow_complete(c, now);
+  }
+
+  void verify(const Fabric& fabric) {
+    ++rounds_checked;
+    std::size_t live_send = 0;
+    std::size_t live_recv = 0;
+    for (PortIndex p = 0; p < fabric.num_ports(); ++p) {
+      const bool s = fabric.send_remaining(p) > Fabric::kRateEpsilon;
+      const bool r = fabric.recv_remaining(p) > Fabric::kRateEpsilon;
+      ASSERT_EQ(fabric.send_is_live(p), s) << "send port " << p;
+      ASSERT_EQ(fabric.recv_is_live(p), r) << "recv port " << p;
+      live_send += s ? 1 : 0;
+      live_recv += r ? 1 : 0;
+    }
+    ASSERT_EQ(fabric.send_live().size(), live_send);
+    ASSERT_EQ(fabric.recv_live().size(), live_recv);
+    for (const PortIndex p : fabric.send_live()) {
+      ASSERT_TRUE(fabric.send_is_live(p));
+    }
+    for (const PortIndex p : fabric.recv_live()) {
+      ASSERT_TRUE(fabric.recv_is_live(p));
+    }
+  }
+
+  int rounds_checked = 0;
+  SaathScheduler inner_;
+};
+
+// The port-residual view must equal a from-scratch budget scan after every
+// scheduling round of a real engine run (admissions, backfill and
+// conservation replay all consuming behind it).
+TEST(ResidualSet, MatchesFromScratchScanEveryRound) {
+  const auto t = trace::synth_small_trace(10, 60, 13);
+  ResidualSetObserver obs;
+  SimConfig cfg;
+  cfg.port_bandwidth = 1e6;
+  cfg.delta = msec(20);
+  const auto result = simulate(t, obs, cfg);
+  EXPECT_EQ(result.coflows.size(), t.coflows.size());
+  EXPECT_GT(obs.rounds_checked, 2);
+}
 
 // On a sparse workload (slow ports, long quiet busy periods) the skip must
 // actually fire — an order of magnitude fewer compute_schedule rounds, with

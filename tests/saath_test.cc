@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "fabric/fabric.h"
 #include "sched/saath.h"
@@ -284,6 +285,105 @@ TEST(Saath, SkewedFlowsStillComplete) {
   const auto result = simulate(t, sched, toy_config());
   ASSERT_EQ(result.coflows.size(), 1u);
   EXPECT_NEAR(result.coflows[0].cct_seconds(), 100.0, 0.5);
+}
+
+TEST(Saath, IndexedBackfillEngagesAndMatchesDenseOnDeltaRounds) {
+  // Drive precise deltas directly (the engine way) so the incremental
+  // schedule path — and with it the port-indexed backfill — actually runs,
+  // and compare every flow rate of every round against the dense oracle.
+  const auto drive = [](bool backfill, std::vector<Rate>* rates_out,
+                        SaathPhaseStats* stats_out) {
+    testing::StateSet set;
+    // Heavy contention on sender 0/receiver 9: most CoFlows miss admission
+    // and live off the backfill.
+    for (int i = 0; i < 6; ++i) {
+      set.add(make_coflow(i, usec(i),
+                          {{0, static_cast<PortIndex>(2 + i), 50'000},
+                           {1, 9, 50'000},
+                           {static_cast<PortIndex>(2 + i), 9, 50'000}}));
+    }
+    SaathConfig cfg;
+    cfg.incremental_backfill = backfill;
+    SaathScheduler sched(cfg);
+    Fabric fabric(10, 1000.0);
+    RateAssignment rates(10);
+    SchedulerDelta delta;
+    delta.full = false;
+    delta.stream_id = backfill ? 77001 : 77002;
+    for (CoflowState* c : set.active()) sched.on_coflow_arrival(*c, 0);
+    for (int round = 0; round < 40; ++round) {
+      const SimTime now = msec(8) * round;
+      fabric.reset();
+      rates.begin_epoch(now);
+      sched.schedule(now, set.active(), fabric, rates, delta);
+      delta.clear_marks();
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        for (const auto& f : set.at(i).flows()) {
+          rates_out->push_back(f.rate());
+        }
+      }
+      if (round == 20) {
+        // One mid-stream completion so the delta path sees churn.
+        CoflowState& victim = set.at(0);
+        FlowState& fl = victim.flows()[0];
+        if (!fl.finished()) {
+          rates.flow_stopped(fl);
+          victim.on_flow_complete(fl, now);
+          sched.on_flow_complete(victim, fl, now);
+          delta.mark_requeue(&victim);
+        }
+      }
+    }
+    *stats_out = sched.phase_stats();
+  };
+
+  std::vector<Rate> indexed_rates;
+  std::vector<Rate> dense_rates;
+  SaathPhaseStats indexed_stats;
+  SaathPhaseStats dense_stats;
+  drive(true, &indexed_rates, &indexed_stats);
+  drive(false, &dense_rates, &dense_stats);
+
+  ASSERT_EQ(indexed_rates.size(), dense_rates.size());
+  for (std::size_t i = 0; i < indexed_rates.size(); ++i) {
+    ASSERT_EQ(indexed_rates[i], dense_rates[i]) << "rate stream index " << i;
+  }
+  // The machinery must actually engage — and the oracle must not.
+  EXPECT_GT(indexed_stats.backfill_rounds, 0);
+  EXPECT_GT(indexed_stats.backfill_missed, 0);
+  EXPECT_EQ(dense_stats.backfill_rounds, 0);
+  // Rounds with no churn at all replay the recorded conservation stream.
+  EXPECT_GT(indexed_stats.conserve_replays, 0);
+  EXPECT_EQ(dense_stats.conserve_replays, 0);
+}
+
+TEST(Saath, ConserveReplayEngagesOnQuiescentEngineRounds) {
+  // With the quiescent-epoch skip off, the engine recomputes every epoch;
+  // epochs with no delta replay the whole admission prefix AND the
+  // conservation allocations — and the results must equal the dense
+  // oracle's exactly.
+  const auto t = make_trace(
+      6, {make_coflow(0, 0, {{0, 3, 5000}, {1, 4, 5000}}),
+          make_coflow(1, usec(1), {{0, 5, 8000}, {2, 3, 8000}}),
+          make_coflow(2, usec(2), {{1, 5, 8000}, {2, 4, 8000}})});
+  SimConfig cfg = toy_config();
+  cfg.skip_quiescent_epochs = false;
+
+  SaathScheduler indexed;
+  SaathConfig dense_cfg;
+  dense_cfg.incremental_backfill = false;
+  SaathScheduler dense(dense_cfg);
+  const auto r_indexed = simulate(t, indexed, cfg);
+  const auto r_dense = simulate(t, dense, cfg);
+
+  ASSERT_EQ(r_indexed.coflows.size(), r_dense.coflows.size());
+  for (std::size_t i = 0; i < r_indexed.coflows.size(); ++i) {
+    EXPECT_EQ(r_indexed.coflows[i].finish, r_dense.coflows[i].finish);
+    EXPECT_EQ(r_indexed.coflows[i].flow_fcts_seconds,
+              r_dense.coflows[i].flow_fcts_seconds);
+  }
+  EXPECT_GT(indexed.phase_stats().conserve_replays, 0);
+  EXPECT_EQ(dense.phase_stats().conserve_replays, 0);
 }
 
 TEST(Saath, Fig8LcofLimitationReproduced) {

@@ -3,6 +3,7 @@
 // completion, queue (group) move, CoFlow removal — not just at steady state.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -69,6 +70,51 @@ TEST(OccupancyIndex, TracksSlotMembership) {
   EXPECT_EQ(occ.occupied_slots(CoflowId{0}), 0u);
   EXPECT_TRUE(occ.remove_coflow(CoflowId{0}).empty());
   EXPECT_EQ(occ.num_coflows(), 1u);
+}
+
+TEST(OccupancyIndex, CollectLiveOccupantsIntersectsBothSides) {
+  testing::StateSet set;
+  set.add(make_coflow(1, 0, {{0, 1, 10}}));            // sender 0 -> recv 1
+  set.add(make_coflow(2, 0, {{2, 3, 10}}));            // sender 2 -> recv 3
+  set.add(make_coflow(3, 0, {{0, 3, 10}}));            // sender 0 -> recv 3
+  spatial::OccupancyIndex occ;
+  for (std::size_t i = 0; i < set.size(); ++i) occ.add_coflow(set.at(i));
+
+  const auto collect = [&occ](std::vector<PortIndex> senders,
+                              std::vector<PortIndex> receivers) {
+    std::vector<CoflowId> out;
+    occ.collect_live_occupants(senders, receivers, out);
+    std::vector<std::int64_t> ids;
+    for (const CoflowId id : out) ids.push_back(id.value);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  // A CoFlow is emitted only when it occupies a live sender AND receiver.
+  EXPECT_EQ(collect({0}, {1}), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(collect({0}, {3}), (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(collect({2}, {1}), (std::vector<std::int64_t>{}));
+  EXPECT_EQ(collect({0, 2}, {1, 3}), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(collect({}, {1, 3}), (std::vector<std::int64_t>{}));
+  EXPECT_EQ(collect({0, 2}, {}), (std::vector<std::int64_t>{}));
+
+  // Dedup: a wide CoFlow on several live ports is emitted once.
+  testing::StateSet wide;
+  wide.add(make_coflow(9, 0, {{0, 1, 10}, {2, 3, 10}, {4, 5, 10}}));
+  spatial::OccupancyIndex occ2;
+  occ2.add_coflow(wide.at(0));
+  std::vector<CoflowId> out;
+  occ2.collect_live_occupants(std::vector<PortIndex>{0, 2, 4},
+                              std::vector<PortIndex>{1, 3, 5}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 9);
+
+  // Completions drop membership: once 0->1 finishes, sender 0 is no longer
+  // occupied by coflow 1 and the join reflects it.
+  auto& c1 = set.at(0);
+  c1.on_flow_complete(c1.flows()[0], seconds(1));
+  occ.on_flow_complete(CoflowId{1}, 0, 1);
+  EXPECT_EQ(collect({0}, {1}), (std::vector<std::int64_t>{}));
 }
 
 TEST(OccupancyIndex, DeltaAgreesWithCoflowState) {
