@@ -6,10 +6,14 @@
 // per-CoFlow speedup of <scheme at parameter value> over <Aalo at default
 // parameters>. Runs on a reduced FB-like trace (the full grid is ~60
 // simulations); the shape, not scale, is the target.
+#include <memory>
+
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "common/stats.h"
 #include "sched/factory.h"
+#include "workload/combinators.h"
+#include "workload/sources.h"
 
 using namespace saath;
 
@@ -102,12 +106,18 @@ int main() {
     std::printf("\n-- Fig 14(d): arrival scaling A --\n");
     TextTable t({"A", "saath vs default-aalo", "aalo vs default-aalo",
                  "saath lead over aalo(A)"});
+    // One shared trace, scaled lazily per sweep point by the ScaleArrivals
+    // decorator — no per-point Trace::scaled_arrivals copies.
+    const auto shared = std::make_shared<const trace::Trace>(trace);
     for (double a : {0.25, 0.5, 1.0, 2.0, 4.0, 5.0}) {
-      const auto scaled = trace.scaled_arrivals(a);
+      const auto scaled_source = [&] {
+        return std::make_shared<workload::ScaleArrivals>(
+            std::make_shared<workload::TraceSource>(shared), a);
+      };
       auto saath_s = make_scheduler("saath");
       auto aalo_s = make_scheduler("aalo");
-      const auto rs = simulate(scaled, *saath_s, sim);
-      const auto ra = simulate(scaled, *aalo_s, sim);
+      const auto rs = simulate(scaled_source(), *saath_s, sim);
+      const auto ra = simulate(scaled_source(), *aalo_s, sim);
       // CCTs across different arrival scalings still compare per CoFlow id.
       t.add_row({fmt(a), fmt(median_speedup_over(rs, aalo_default)),
                  fmt(median_speedup_over(ra, aalo_default)),

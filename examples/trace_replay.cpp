@@ -1,21 +1,23 @@
 // Trace replay: run any scheduler over a CoFlow trace and print summary
-// statistics. Accepts the public Facebook coflow-benchmark file format, or
-// synthesizes the FB/OSP-like traces used in the paper reproduction.
+// statistics — driven entirely through the scenario registry (the same
+// named setups saath_sim and CI run). A --file input registers an ad-hoc
+// scenario wrapping the public Facebook coflow-benchmark format, showing
+// how user code plugs its own workloads into the registry.
 //
-//   $ ./trace_replay                        # synth FB trace, aalo vs saath
-//   $ ./trace_replay --trace osp            # synth OSP trace
+//   $ ./trace_replay                        # fb-replay scenario, aalo vs saath
+//   $ ./trace_replay --trace osp            # osp-replay scenario
 //   $ ./trace_replay --file FB-2010-1Hr-150-0.txt --scheduler sebf
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "analysis/metrics.h"
 #include "analysis/table.h"
-#include "sched/factory.h"
-#include "sim/engine.h"
 #include "trace/fb_format.h"
-#include "trace/synth.h"
+#include "workload/scenario.h"
+#include "workload/sources.h"
 
 using namespace saath;
 
@@ -29,22 +31,33 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--scheduler") == 0) scheduler = argv[i + 1];
   }
 
-  trace::Trace trace;
+  std::string scenario = trace_kind == "osp" ? "osp-replay" : "fb-replay";
   if (!file.empty()) {
-    trace = trace::load_fb_trace_file(file);
-  } else if (trace_kind == "osp") {
-    trace = trace::synth_osp_trace();
-  } else {
-    trace = trace::synth_fb_trace();
+    // A real trace file becomes a first-class scenario: the shared_ptr
+    // TraceSource replays it per scheduler without copying the trace.
+    auto trace = std::make_shared<const trace::Trace>(
+        trace::load_fb_trace_file(file));
+    workload::register_scenario(
+        "fb-file", "replay of " + file,
+        [trace](const workload::ScenarioParams&) {
+          workload::ScenarioSetup setup;
+          setup.source = std::make_shared<workload::TraceSource>(trace);
+          return setup;
+        });
+    scenario = "fb-file";
   }
-  std::printf("trace '%s': %d ports, %zu coflows, %.1f GB total\n",
-              trace.name.c_str(), trace.num_ports, trace.coflows.size(),
-              static_cast<double>(trace.total_bytes()) / 1e9);
 
   const std::vector<std::string> names =
       scheduler.empty() ? std::vector<std::string>{"aalo", "saath"}
                         : std::vector<std::string>{"aalo", scheduler};
-  const auto results = run_schedulers(trace, names, SimConfig{});
+  std::map<std::string, SimResult> results;
+  for (const auto& name : names) {
+    auto run = workload::run_scenario(scenario, {}, name);
+    std::printf("ran scenario '%s' under %s: %zu coflows, makespan %.1fs\n",
+                scenario.c_str(), name.c_str(), run.result.coflows.size(),
+                to_seconds(run.result.makespan));
+    results.emplace(name, std::move(run.result));
+  }
 
   TextTable t({"scheduler", "mean CCT (s)", "P50 CCT (s)", "P90 CCT (s)",
                "makespan (s)"});

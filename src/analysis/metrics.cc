@@ -3,6 +3,7 @@
 #include "common/expect.h"
 #include "common/stats.h"
 #include "sched/factory.h"
+#include "workload/sources.h"
 
 namespace saath {
 
@@ -27,21 +28,28 @@ SpeedupSummary summarize_speedup(const SimResult& scheme,
 std::map<std::string, SimResult> run_schedulers(
     const trace::Trace& trace, const std::vector<std::string>& names,
     const SimConfig& config, double deadline_factor) {
+  auto shared = std::make_shared<const trace::Trace>(trace);
+  return run_schedulers(
+      [shared] {
+        return std::static_pointer_cast<workload::WorkloadSource>(
+            std::make_shared<workload::TraceSource>(shared));
+      },
+      names, config, deadline_factor);
+}
+
+std::map<std::string, SimResult> run_schedulers(
+    const std::function<std::shared_ptr<workload::WorkloadSource>()>&
+        make_source,
+    const std::vector<std::string>& names, const SimConfig& config,
+    double deadline_factor) {
   std::map<std::string, SimResult> results;
   for (const auto& name : names) {
     SchedulerOptions options;
     options.deadline_factor = deadline_factor;
     auto scheduler = make_scheduler(name, options);
     SimConfig cfg = config;
-    if (name == "uc-tcp") {
-      // UC-TCP has no coordinator: its rates only change on arrivals and
-      // completions (TCP re-converges immediately), so simulate it with
-      // completion-triggered reallocation and a coarse epoch instead of
-      // paying the 8ms coordinator cadence it does not have.
-      cfg.reallocate_on_completion = true;
-      cfg.delta = std::max<SimTime>(config.delta * 8, msec(50));
-    }
-    results.emplace(name, simulate(trace, *scheduler, cfg));
+    apply_scheduler_sim_overrides(name, cfg);
+    results.emplace(name, simulate(make_source(), *scheduler, cfg));
   }
   return results;
 }

@@ -6,12 +6,15 @@
 // the 10th/90th percentiles of the per-CoFlow speedup distribution.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/engine.h"
 #include "sim/result.h"
+#include "workload/source.h"
 
 namespace saath {
 
@@ -37,5 +40,15 @@ struct SpeedupSummary {
 [[nodiscard]] std::map<std::string, SimResult> run_schedulers(
     const trace::Trace& trace, const std::vector<std::string>& names,
     const SimConfig& config = {}, double deadline_factor = 2.0);
+
+/// Streaming variant: `make_source` builds a fresh WorkloadSource per
+/// scheduler (sources are consumed by a run). This is how sweeps avoid
+/// materializing per-point trace copies — e.g. ScaleArrivals over one
+/// shared trace instead of Trace::scaled_arrivals clones.
+[[nodiscard]] std::map<std::string, SimResult> run_schedulers(
+    const std::function<std::shared_ptr<workload::WorkloadSource>()>&
+        make_source,
+    const std::vector<std::string>& names, const SimConfig& config = {},
+    double deadline_factor = 2.0);
 
 }  // namespace saath

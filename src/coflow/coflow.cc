@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/expect.h"
 
@@ -191,13 +192,13 @@ int CoflowState::find_slot(const std::vector<PortLoad>& loads,
   return static_cast<int>(*it);
 }
 
-CoflowState::CoflowState(const CoflowSpec& spec, FlowId first_flow_id)
-    : spec_(spec) {
-  SAATH_EXPECTS(!spec.flows.empty());
-  flows_.reserve(spec.flows.size());
+CoflowState::CoflowState(CoflowSpec spec, FlowId first_flow_id)
+    : spec_(std::move(spec)) {
+  SAATH_EXPECTS(!spec_.flows.empty());
+  flows_.reserve(spec_.flows.size());
   std::int64_t next = first_flow_id.value;
-  for (const auto& fs : spec.flows) {
-    flows_.emplace_back(FlowId{next++}, fs, spec.arrival);
+  for (const auto& fs : spec_.flows) {
+    flows_.emplace_back(FlowId{next++}, fs, spec_.arrival);
     flows_.back().owner_ = this;
     add_load(senders_, fs.src);
     add_load(receivers_, fs.dst);

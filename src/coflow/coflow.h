@@ -161,7 +161,10 @@ struct OccupancyDelta {
 /// Mutable per-CoFlow simulation state. Owns its FlowStates.
 class CoflowState {
  public:
-  CoflowState(const CoflowSpec& spec, FlowId first_flow_id);
+  /// Takes the spec by value: engine admissions move it straight off the
+  /// workload stream (no deep copy of the flow vector); lvalue callers copy
+  /// once, as before.
+  CoflowState(CoflowSpec spec, FlowId first_flow_id);
   /// Flows hold a back-pointer to their owner (for the aggregate caches);
   /// the state is pinned in place.
   CoflowState(const CoflowState&) = delete;

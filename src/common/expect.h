@@ -15,6 +15,15 @@ namespace saath::detail {
   std::abort();
 }
 
+[[noreturn]] inline void contract_violation_msg(const char* kind,
+                                                const char* expr,
+                                                const char* msg,
+                                                const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d — %s\n", kind, expr, file,
+               line, msg);
+  std::abort();
+}
+
 }  // namespace saath::detail
 
 #define SAATH_EXPECTS(cond)                                                  \
@@ -26,3 +35,10 @@ namespace saath::detail {
   ((cond) ? void(0)                                                          \
           : ::saath::detail::contract_violation("postcondition", #cond,      \
                                                 __FILE__, __LINE__))
+
+/// Precondition with a caller-facing message naming the fix (e.g. which API
+/// replaces a misused one). `msg` must be a string literal.
+#define SAATH_EXPECTS_MSG(cond, msg)                                         \
+  ((cond) ? void(0)                                                          \
+          : ::saath::detail::contract_violation_msg("precondition", #cond,   \
+                                                    msg, __FILE__, __LINE__))

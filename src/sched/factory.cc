@@ -49,4 +49,11 @@ std::vector<std::string> known_schedulers() {
           "srtf",  "lwtf",  "sebf",          "uc-tcp"};
 }
 
+void apply_scheduler_sim_overrides(std::string_view name, SimConfig& config) {
+  if (name == "uc-tcp") {
+    config.reallocate_on_completion = true;
+    config.delta = std::max<SimTime>(config.delta * 8, msec(50));
+  }
+}
+
 }  // namespace saath

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sched/queue_structure.h"
+#include "sim/engine.h"
 #include "sim/scheduler.h"
 
 namespace saath {
@@ -25,5 +26,14 @@ struct SchedulerOptions {
     std::string_view name, const SchedulerOptions& options = {});
 
 [[nodiscard]] std::vector<std::string> known_schedulers();
+
+/// Simulation-config adjustments tied to a scheduler's semantics, applied
+/// by every driver (run_schedulers, run_scenario) so a named scheduler
+/// means the same emulation everywhere. Currently: UC-TCP has no
+/// coordinator — its rates only change on arrivals and completions (TCP
+/// re-converges immediately), so it runs with completion-triggered
+/// reallocation and a coarse epoch instead of paying the 8 ms coordinator
+/// cadence it does not have.
+void apply_scheduler_sim_overrides(std::string_view name, SimConfig& config);
 
 }  // namespace saath

@@ -55,6 +55,23 @@ class CompletionHeap {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   void clear() { heap_ = {}; }
 
+  /// Removes every event whose owning CoFlow satisfies `dying` (pointer
+  /// identity only — nothing of a dying CoFlow is dereferenced). The
+  /// engine's streaming reclamation calls this right before destroying
+  /// finished CoflowStates, so no stale event can later dereference a freed
+  /// flow in prune()/the comparator. O(n) rebuild.
+  template <typename Pred>
+  void purge_coflows(Pred&& dying) {
+    std::vector<Event> keep;
+    keep.reserve(heap_.size());
+    while (!heap_.empty()) {
+      if (!dying(heap_.top().coflow)) keep.push_back(heap_.top());
+      heap_.pop();
+    }
+    heap_ = std::priority_queue<Event, std::vector<Event>, Later>(
+        Later{}, std::move(keep));
+  }
+
  private:
   struct Event {
     SimTime time = 0;

@@ -1,0 +1,29 @@
+// Cluster dynamics events (§4.3).
+//
+// Lives in its own header (rather than engine.h) so workload sources can
+// carry dynamics in their event streams without depending on the Engine.
+#pragma once
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace saath {
+
+/// Cluster dynamics injected into a run (§4.3).
+struct DynamicsEvent {
+  enum class Kind {
+    /// Machine dies: progress of unfinished flows touching the port is lost
+    /// (tasks restart) and affected CoFlows are flagged for the scheduler.
+    kNodeFailure,
+    /// Port slows to `capacity_factor` of nominal bandwidth.
+    kStragglerStart,
+    /// Port returns to nominal bandwidth.
+    kStragglerEnd,
+  };
+  SimTime time = 0;
+  Kind kind = Kind::kNodeFailure;
+  PortIndex port = kInvalidPort;
+  double capacity_factor = 1.0;
+};
+
+}  // namespace saath

@@ -4,13 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 #include <string>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
 
 #include "common/expect.h"
 #include "common/logging.h"
 #include "trace/trace.h"
+#include "workload/sources.h"
 
 namespace saath {
 
@@ -29,35 +32,87 @@ using Clock = std::chrono::steady_clock;
 /// caches across runs.
 std::atomic<std::uint64_t> g_delta_stream{0};
 
+[[nodiscard]] bool entry_later(const SimTime a_arrival, const std::int64_t a_id,
+                               const SimTime b_arrival, const std::int64_t b_id) {
+  return std::tie(a_arrival, a_id) > std::tie(b_arrival, b_id);
+}
+
 }  // namespace
 
-Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
-    : trace_(std::move(trace)),
+// ------------------------------------------------------------ InjectedHeap
+
+void Engine::InjectedHeap::push(CoflowSpec spec) {
+  std::uint32_t slot;
+  if (!free_slots.empty()) {
+    slot = free_slots.back();
+    free_slots.pop_back();
+    slots[slot] = std::move(spec);
+  } else {
+    slot = static_cast<std::uint32_t>(slots.size());
+    slots.push_back(std::move(spec));
+  }
+  const CoflowSpec& s = slots[slot];
+  heap.push_back({s.arrival, s.id.value, slot});
+  std::push_heap(heap.begin(), heap.end(), [](const Entry& a, const Entry& b) {
+    return entry_later(a.arrival, a.id, b.arrival, b.id);
+  });
+}
+
+CoflowSpec Engine::InjectedHeap::pop() {
+  SAATH_EXPECTS(!heap.empty());
+  std::pop_heap(heap.begin(), heap.end(), [](const Entry& a, const Entry& b) {
+    return entry_later(a.arrival, a.id, b.arrival, b.id);
+  });
+  const std::uint32_t slot = heap.back().slot;
+  heap.pop_back();
+  CoflowSpec spec = std::move(slots[slot]);
+  slots[slot] = CoflowSpec{};  // leave the moved-from slot well-defined
+  free_slots.push_back(slot);
+  return spec;
+}
+
+// ------------------------------------------------------------------ Engine
+
+Engine::Engine(std::shared_ptr<workload::WorkloadSource> source,
+               Scheduler& scheduler, SimConfig config)
+    : source_(std::move(source)),
       scheduler_(scheduler),
       config_(config),
-      fabric_(trace_.num_ports, config.port_bandwidth),
-      rates_(trace_.num_ports) {
+      fabric_(source_ ? source_->num_ports() : 0, config.port_bandwidth),
+      rates_(source_ ? source_->num_ports() : 0) {
+  SAATH_EXPECTS(source_ != nullptr);
   SAATH_EXPECTS(config_.delta > 0);
-  for (const auto& spec : trace_.coflows) pending_.push(spec);
   result_.scheduler = scheduler_.name();
-  result_.trace = trace_.name;
+  result_.trace = source_->name();
   // The engine delivers every state change through the lifecycle hooks and
   // the dirty-set, so its deltas are precise from the first epoch on.
   delta_.full = false;
   delta_.stream_id = ++g_delta_stream;
 }
 
+Engine::Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config)
+    : Engine(std::make_shared<workload::TraceSource>(std::move(trace)),
+             scheduler, config) {}
+
 void Engine::add_dynamics_event(DynamicsEvent event) {
-  SAATH_EXPECTS(!running_);
+  SAATH_EXPECTS_MSG(!running_,
+                    "add_dynamics_event is pre-run only — emit "
+                    "WorkloadEvent::kDynamics from a workload source "
+                    "(e.g. ScriptSource) for mid-run dynamics");
   // Consumed in time order, but sorted lazily once at run() start —
   // re-sorting per insertion made bulk event setup quadratic.
   dynamics_.push_back(event);
 }
 
 void Engine::set_data_available_at(CoflowId id, SimTime when) {
-  SAATH_EXPECTS(!running_);
+  SAATH_EXPECTS_MSG(!running_,
+                    "set_data_available_at is pre-run only — carry "
+                    "WorkloadEvent::data_ready on the arrival or emit "
+                    "WorkloadEvent::kDataAvailable from a workload source");
   data_available_at_[id] = when;
 }
+
+void Engine::set_result_sink(ResultSink* sink) { sink_ = sink; }
 
 void Engine::set_completion_callback(CompletionCallback cb) {
   completion_callback_ = std::move(cb);
@@ -66,85 +121,217 @@ void Engine::set_completion_callback(CompletionCallback cb) {
 void Engine::inject_coflow(CoflowSpec spec) {
   SAATH_EXPECTS(spec.arrival >= now_);
   SAATH_EXPECTS(!spec.flows.empty());
-  pending_.push(std::move(spec));
+  injected_.push(std::move(spec));
+}
+
+void Engine::pull_due_source_events() {
+  SAATH_EXPECTS(staged_arrivals_.empty());
+  for (;;) {
+    const SimTime peek = source_->peek_next_time();
+    if (peek == kNever || peek > now_) break;
+    workload::WorkloadEvent ev = source_->next();
+    ++stats_.source_events;
+    SAATH_EXPECTS_MSG(ev.time >= last_source_time_,
+                      "WorkloadSource ordering invariant violated: event "
+                      "times must be non-decreasing");
+    if (ev.time > last_source_time_) {
+      last_arrival_id_ = std::numeric_limits<std::int64_t>::min();
+    }
+    last_source_time_ = ev.time;
+    switch (ev.kind) {
+      case workload::WorkloadEvent::Kind::kArrival:
+        SAATH_EXPECTS(ev.coflow.arrival == ev.time);
+        SAATH_EXPECTS(!ev.coflow.flows.empty());
+        SAATH_EXPECTS_MSG(ev.coflow.id.value > last_arrival_id_,
+                          "WorkloadSource ordering invariant violated: "
+                          "arrival ties must be emitted in ascending "
+                          "CoflowId order");
+        last_arrival_id_ = ev.coflow.id.value;
+        staged_arrivals_.push_back({std::move(ev.coflow), ev.data_ready});
+        break;
+      case workload::WorkloadEvent::Kind::kDynamics:
+        source_dynamics_.push_back(ev.dynamics);
+        break;
+      case workload::WorkloadEvent::Kind::kDataAvailable: {
+        // Earliest release wins (kNever = no release yet) — a later
+        // duplicate must not push an already-recorded release out.
+        // Entries for ids that never arrive (pre-arrival releases are
+        // consumed at admission; releases for already-finished CoFlows or
+        // invalid ids are source anomalies) persist to run end — bounded
+        // by such events, not by the workload.
+        const auto [it, inserted] =
+            data_available_at_.try_emplace(ev.gated, ev.time);
+        if (!inserted && (it->second == kNever || ev.time < it->second)) {
+          it->second = ev.time;
+        }
+        break;
+      }
+    }
+  }
+}
+
+SimTime Engine::next_input_time() {
+  SimTime best = source_->peek_next_time();
+  if (!injected_.empty() &&
+      (best == kNever || injected_.top().arrival < best)) {
+    best = injected_.top().arrival;
+  }
+  return best;
+}
+
+bool Engine::input_pending() {
+  return source_->peek_next_time() != kNever || !injected_.empty();
+}
+
+void Engine::admit_coflow(CoflowSpec spec, SimTime data_ready) {
+  const CoflowId id = spec.id;
+  ++stats_.arrivals_admitted;
+  auto state = std::make_unique<CoflowState>(std::move(spec), FlowId{next_flow_id_});
+  next_flow_id_ += state->width();
+  // Effective release instant = earliest of any already-recorded release
+  // (pre-run setter, or a kDataAvailable delivered in this very epoch's
+  // pull — which must NOT be clobbered by the arrival's own field) and the
+  // arrival-carried data_ready. kNever means "no release known yet";
+  // data_ready <= now carries no gating information.
+  SimTime release = 0;
+  bool gate_known = false;
+  if (const auto it = data_available_at_.find(id);
+      it != data_available_at_.end()) {
+    release = it->second;
+    gate_known = true;
+  }
+  if (data_ready == kNever || data_ready > now_) {
+    if (!gate_known || release == kNever ||
+        (data_ready != kNever && data_ready < release)) {
+      release = data_ready;
+    }
+    gate_known = true;
+  }
+  if (gate_known && (release == kNever || release > now_)) {
+    data_available_at_[id] = release;
+    state->data_available = false;
+  } else if (gate_known) {
+    // Already released — nothing for the flip loop to consume later.
+    data_available_at_.erase(id);
+  }
+  active_.push_back(state.get());
+  // Zero-byte flows are born finished: their completion event exists
+  // before any rate assignment ever touches them.
+  push_completion_events(*state);
+  scheduler_.on_coflow_arrival(*state, now_);
+  delta_.mark(state.get());
+  CoflowState* raw = state.get();
+  owned_coflows_.emplace(raw, std::move(state));
+  schedule_dirty_ = true;
 }
 
 void Engine::admit_arrivals() {
-  while (!pending_.empty() && pending_.top().arrival <= now_) {
-    CoflowSpec spec = pending_.top();
-    pending_.pop();
-    auto state = std::make_unique<CoflowState>(spec, FlowId{next_flow_id_});
-    next_flow_id_ += spec.width();
-    if (auto it = data_available_at_.find(spec.id);
-        it != data_available_at_.end() && it->second > now_) {
-      state->data_available = false;
+  // Stage every due source event (non-arrivals route to their phase:
+  // dynamics after admission, gate updates into the availability map), then
+  // merge the staged arrivals with the injected heap in (arrival, id) order
+  // — the exact order the legacy single pending-queue admitted.
+  pull_due_source_events();
+  std::size_t si = 0;
+  for (;;) {
+    const bool src_due = si < staged_arrivals_.size();
+    const bool inj_due =
+        !injected_.empty() && injected_.top().arrival <= now_;
+    if (!src_due && !inj_due) break;
+    bool take_src = src_due;
+    if (src_due && inj_due) {
+      const auto& staged = staged_arrivals_[si].spec;
+      const auto& top = injected_.top();
+      take_src = std::tie(staged.arrival, staged.id.value) <=
+                 std::tie(top.arrival, top.id);
     }
-    active_.push_back(state.get());
-    // Zero-byte flows are born finished: their completion event exists
-    // before any rate assignment ever touches them.
-    push_completion_events(*state);
-    scheduler_.on_coflow_arrival(*state, now_);
-    delta_.mark(state.get());
-    all_coflows_.push_back(std::move(state));
-    schedule_dirty_ = true;
+    if (take_src) {
+      StagedArrival& staged = staged_arrivals_[si++];
+      admit_coflow(std::move(staged.spec), staged.data_ready);
+    } else {
+      ++stats_.injected_moves;
+      admit_coflow(injected_.pop(), 0);
+    }
   }
-  // Flip data-availability gates whose release time has passed.
+  staged_arrivals_.clear();
+  // Flip data-availability gates whose release time has passed. The entry
+  // is consumed by the flip (ids are unique per run), so erase it — on a
+  // streamed workload the map must stay O(live gated), not O(total).
   for (CoflowState* c : active_) {
     if (c->data_available) continue;
     const auto it = data_available_at_.find(c->id());
-    if (it == data_available_at_.end() || it->second <= now_) {
+    if (it == data_available_at_.end() ||
+        (it->second != kNever && it->second <= now_)) {
       c->data_available = true;
       delta_.mark(c);
       schedule_dirty_ = true;
+      if (it != data_available_at_.end()) data_available_at_.erase(it);
     }
+  }
+}
+
+void Engine::apply_dynamics(const DynamicsEvent& ev) {
+  schedule_dirty_ = true;
+  switch (ev.kind) {
+    case DynamicsEvent::Kind::kNodeFailure:
+      for (CoflowState* c : active_) {
+        // The restart zeroes rates behind the RateAssignment's back; pull
+        // the dying flows out of the port accumulators first.
+        for (const auto& f : c->flows()) {
+          if (!f.finished() && f.rate() > 0 &&
+              (f.src() == ev.port || f.dst() == ev.port)) {
+            rates_.flow_stopped(f);
+          }
+        }
+        if (c->restart_flows_on_port(ev.port, now_) > 0) {
+          c->dynamics_flagged = true;
+          delta_.mark_requeue(c);
+          // The restart invalidated the flows' queued events. Normal
+          // flows re-enter the heap when a schedule rates them again,
+          // but a zero-byte flow keeps a valid finish instant with no
+          // rate — re-push or it only completes once re-rated (the
+          // oracle scan would complete it immediately).
+          push_completion_events(*c);
+        }
+      }
+      SAATH_LOG_INFO("t=%.3fs node failure at port %d", to_seconds(now_),
+                     ev.port);
+      break;
+    case DynamicsEvent::Kind::kStragglerStart:
+      fabric_.set_port_capacity_factor(ev.port, ev.capacity_factor);
+      for (CoflowState* c : active_) {
+        for (const auto& f : c->flows()) {
+          if (!f.finished() && (f.src() == ev.port || f.dst() == ev.port)) {
+            c->dynamics_flagged = true;
+            delta_.mark_requeue(c);
+            break;
+          }
+        }
+      }
+      break;
+    case DynamicsEvent::Kind::kStragglerEnd:
+      fabric_.set_port_capacity_factor(ev.port, 1.0);
+      break;
   }
 }
 
 void Engine::process_dynamics() {
-  while (next_dynamics_ < dynamics_.size() &&
-         dynamics_[next_dynamics_].time <= now_) {
-    const DynamicsEvent& ev = dynamics_[next_dynamics_++];
-    schedule_dirty_ = true;
-    switch (ev.kind) {
-      case DynamicsEvent::Kind::kNodeFailure:
-        for (CoflowState* c : active_) {
-          // The restart zeroes rates behind the RateAssignment's back; pull
-          // the dying flows out of the port accumulators first.
-          for (const auto& f : c->flows()) {
-            if (!f.finished() && f.rate() > 0 &&
-                (f.src() == ev.port || f.dst() == ev.port)) {
-              rates_.flow_stopped(f);
-            }
-          }
-          if (c->restart_flows_on_port(ev.port, now_) > 0) {
-            c->dynamics_flagged = true;
-            delta_.mark_requeue(c);
-            // The restart invalidated the flows' queued events. Normal
-            // flows re-enter the heap when a schedule rates them again,
-            // but a zero-byte flow keeps a valid finish instant with no
-            // rate — re-push or it only completes once re-rated (the
-            // oracle scan would complete it immediately).
-            push_completion_events(*c);
-          }
-        }
-        SAATH_LOG_INFO("t=%.3fs node failure at port %d", to_seconds(now_),
-                       ev.port);
-        break;
-      case DynamicsEvent::Kind::kStragglerStart:
-        fabric_.set_port_capacity_factor(ev.port, ev.capacity_factor);
-        for (CoflowState* c : active_) {
-          for (const auto& f : c->flows()) {
-            if (!f.finished() && (f.src() == ev.port || f.dst() == ev.port)) {
-              c->dynamics_flagged = true;
-              delta_.mark_requeue(c);
-              break;
-            }
-          }
-        }
-        break;
-      case DynamicsEvent::Kind::kStragglerEnd:
-        fabric_.set_port_capacity_factor(ev.port, 1.0);
-        break;
+  for (;;) {
+    const bool legacy_due = next_dynamics_ < dynamics_.size() &&
+                            dynamics_[next_dynamics_].time <= now_;
+    // Streamed dynamics were routed here already due, so no time check.
+    const bool src_due = !source_dynamics_.empty();
+    if (!legacy_due && !src_due) break;
+    bool take_legacy = legacy_due;
+    if (legacy_due && src_due) {
+      take_legacy =
+          dynamics_[next_dynamics_].time <= source_dynamics_.front().time;
+    }
+    if (take_legacy) {
+      apply_dynamics(dynamics_[next_dynamics_++]);
+    } else {
+      const DynamicsEvent ev = source_dynamics_.front();
+      source_dynamics_.pop_front();
+      apply_dynamics(ev);
     }
   }
 }
@@ -173,7 +360,33 @@ void Engine::compute_schedule() {
   schedule_dirty_ = false;
   schedule_valid_until_ = scheduler_.schedule_valid_until(now_, active_);
   scheduled_capacity_version_ = fabric_.capacity_version();
+  // Amortize the O(heap) purge: defer freeing until the graveyard is a
+  // meaningful fraction of the heap. The parked states stay alive (so
+  // every stale pointer anywhere remains dereferenceable) and their count
+  // is bounded by that same fraction — memory stays O(live).
+  if (!graveyard_.empty() &&
+      (!config_.event_driven || graveyard_.size() * 8 >= heap_.size() + 8)) {
+    reclaim_finished();
+  }
   stats_.schedule_ns += ns_since(t0);
+}
+
+void Engine::reclaim_finished() {
+  // Safe point (see header): the delta naming these CoFlows was consumed by
+  // the schedule() call above, Saath/Aalo erased them from their maintained
+  // structures (by id / at the hook), the admission-replay fences already
+  // re-recorded past their ranks, and begin_epoch() folded the last touched
+  // set that could reference their flows. Purge the completion heap's stale
+  // events (pointer identity only), then free.
+  if (config_.event_driven) {
+    std::unordered_set<const CoflowState*> dying;
+    dying.reserve(graveyard_.size());
+    for (const auto& c : graveyard_) dying.insert(c.get());
+    heap_.purge_coflows(
+        [&dying](const CoflowState* c) { return dying.count(c) > 0; });
+  }
+  stats_.reclaimed_coflows += static_cast<std::int64_t>(graveyard_.size());
+  graveyard_.clear();
 }
 
 void Engine::verify_capacity() const {
@@ -309,10 +522,21 @@ void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
     rec.flow_fcts_seconds.push_back(to_seconds(f.finish_time() - coflow.arrival()));
     rec.flow_sizes.push_back(f.size());
   }
-  result_.coflows.push_back(std::move(rec));
   result_.makespan = std::max(result_.makespan, at);
-  if (completion_callback_) {
-    completion_callback_(result_.coflows.back(), at, *this);
+  data_available_at_.erase(coflow.id());
+  if (sink_) sink_->on_coflow_complete(rec, at);
+  // Reactive sources (DagSource) release dependent work off this feedback.
+  source_->on_coflow_complete(rec, at);
+  if (completion_callback_) completion_callback_(rec, at, *this);
+  if (config_.record_results) {
+    result_.coflows.push_back(std::move(rec));
+  } else {
+    // Streaming mode: hand the state to the graveyard; it is destroyed at
+    // the next reclamation point (end of the delta-consuming schedule()).
+    const auto it = owned_coflows_.find(&coflow);
+    SAATH_EXPECTS(it != owned_coflows_.end());
+    graveyard_.push_back(std::move(it->second));
+    owned_coflows_.erase(it);
   }
 }
 
@@ -347,7 +571,7 @@ SimResult Engine::run() {
                    [](const DynamicsEvent& a, const DynamicsEvent& b) {
                      return a.time < b.time;
                    });
-  while (!pending_.empty() || !active_.empty()) {
+  while (input_pending() || !active_.empty()) {
     if (now_ > config_.max_sim_time) {
       // Name the stuck work: without the ids and the epoch, a starvation
       // hang is undebuggable from the exception alone.
@@ -364,15 +588,22 @@ SimResult Engine::run() {
           std::to_string(rounds_) + ", scheduler '" + scheduler_.name() +
           "') with " + std::to_string(active_.size()) +
           " coflows unfinished [ids: " + stuck +
-          "] and " + std::to_string(pending_.size()) +
-          " pending (scheduler starving?)");
+          "] and " + std::to_string(injected_.size()) +
+          " injected pending, source " +
+          (input_pending() ? "live" : "exhausted") +
+          " (scheduler starving, or an unbounded source needs a horizon?)");
     }
     if (active_.empty()) {
-      SAATH_EXPECTS(!pending_.empty());
-      now_ = std::max(now_, pending_.top().arrival);
+      const SimTime next_in = next_input_time();
+      SAATH_EXPECTS(next_in != kNever);
+      now_ = std::max(now_, next_in);
     }
     admit_arrivals();
     process_dynamics();
+    ++stats_.epochs;
+    const auto live = static_cast<std::int64_t>(active_.size());
+    stats_.live_coflow_epoch_sum += live;
+    stats_.peak_live_coflows = std::max(stats_.peak_live_coflows, live);
     // Quiescent-epoch skip: with no delta since the last assignment, an
     // unchanged capacity map, and the scheduler vouching that none of its
     // time-driven triggers (threshold crossings, deadlines) fired, a
@@ -388,6 +619,7 @@ SimResult Engine::run() {
             [](const CoflowRecord& a, const CoflowRecord& b) {
               return a.id < b.id;
             });
+  if (sink_) sink_->on_run_end(result_.makespan);
   running_ = false;
   return std::move(result_);
 }
@@ -395,6 +627,12 @@ SimResult Engine::run() {
 SimResult simulate(const trace::Trace& trace, Scheduler& scheduler,
                    const SimConfig& config) {
   Engine engine(trace, scheduler, config);
+  return engine.run();
+}
+
+SimResult simulate(std::shared_ptr<workload::WorkloadSource> source,
+                   Scheduler& scheduler, const SimConfig& config) {
+  Engine engine(std::move(source), scheduler, config);
   return engine.run();
 }
 

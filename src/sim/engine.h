@@ -1,13 +1,23 @@
 // Discrete-event, flow-level simulation engine.
 //
 // Time advances between *scheduling epochs* (every δ, the coordinator's
-// recomputation interval, §4.1–§5): at each epoch the engine admits pending
-// arrivals, applies dynamics events, and asks the Scheduler for a fresh rate
-// assignment; between epochs flows progress as a fluid at fixed rates and
-// completions are resolved at their exact (µs-rounded) instants. Matching
-// the paper's coordinator semantics, freed bandwidth is NOT re-allocated
-// until the next epoch unless `reallocate_on_completion` is set — this is
-// what makes the δ-sensitivity experiment (Fig 14c) meaningful.
+// recomputation interval, §4.1–§5): at each epoch the engine ingests due
+// workload events (CoFlow arrivals, dynamics, data-availability flips),
+// applies them, and asks the Scheduler for a fresh rate assignment; between
+// epochs flows progress as a fluid at fixed rates and completions are
+// resolved at their exact (µs-rounded) instants. Matching the paper's
+// coordinator semantics, freed bandwidth is NOT re-allocated until the next
+// epoch unless `reallocate_on_completion` is set — this is what makes the
+// δ-sensitivity experiment (Fig 14c) meaningful.
+//
+// Input is *streamed*: the engine pulls lazily from a workload::
+// WorkloadSource (peek_next_time() merged into the epoch loop), so live
+// memory is O(active CoFlows), not O(workload) — a million-CoFlow streaming
+// run holds only the live set. The legacy Trace constructor wraps the trace
+// in a TraceSource emitting arrivals in the exact (arrival, id) order the
+// old pending-queue admitted, so it is bit-identical by construction.
+// Completion records can be consumed online through a ResultSink instead of
+// materializing a per-CoFlow SimResult (SimConfig::record_results = false).
 //
 // The advance phase is event-driven: flow progress is lazy (closed-form in
 // FlowState, nothing is mutated per micro-step), the next completion comes
@@ -18,17 +28,21 @@
 // per completion — which the property suite holds bit-identical.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/completion_heap.h"
+#include "sim/dynamics.h"
 #include "sim/rate_assignment.h"
 #include "sim/result.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
+#include "workload/source.h"
 
 namespace saath {
 
@@ -54,53 +68,82 @@ struct SimConfig {
   /// produce bit-identical SimResults; the oracle exists as the reference
   /// the property suite diffs against.
   bool event_driven = true;
-  /// Runaway guard: the run throws if simulated time passes this.
+  /// Materialize one CoflowRecord per CoFlow in the returned SimResult.
+  /// Streaming runs over huge sources set this false and attach a
+  /// ResultSink instead — completions are aggregated online and SimResult
+  /// carries only run-level fields (makespan, names). false additionally
+  /// enables CoflowState reclamation: a finished CoFlow's state is
+  /// destroyed at the end of the scheduling round that consumes its
+  /// completion delta (after the scheduler's caches have re-fenced and the
+  /// completion heap is purged), keeping memory O(live CoFlows) over
+  /// unbounded horizons. Schedulers must not retain CoflowState pointers
+  /// past that round — Saath/Aalo drop them at on_coflow_complete / the
+  /// delta-consuming schedule() already.
+  bool record_results = true;
+  /// Runaway guard: the run throws if simulated time passes this. Also the
+  /// horizon bound for unbounded sources (e.g. SynthSource with
+  /// num_coflows < 0).
   SimTime max_sim_time = seconds(500'000);
 };
 
-/// Cluster dynamics injected into a run (§4.3).
-struct DynamicsEvent {
-  enum class Kind {
-    /// Machine dies: progress of unfinished flows touching the port is lost
-    /// (tasks restart) and affected CoFlows are flagged for the scheduler.
-    kNodeFailure,
-    /// Port slows to `capacity_factor` of nominal bandwidth.
-    kStragglerStart,
-    /// Port returns to nominal bandwidth.
-    kStragglerEnd,
-  };
-  SimTime time = 0;
-  Kind kind = Kind::kNodeFailure;
-  PortIndex port = kInvalidPort;
-  double capacity_factor = 1.0;
-};
-
 /// Wall-clock phase costs and event counts of one run, for the
-/// bench/engine_core perf trajectory.
+/// bench/engine_core and bench/workload_stream perf trajectories.
 struct EngineStats {
   std::int64_t schedule_ns = 0;  // compute_schedule (incl. scheduler time)
   std::int64_t advance_ns = 0;   // advance_until (completion resolution)
   std::int64_t flow_completions = 0;
   std::int64_t heap_pushes = 0;
+  /// Run-loop iterations (epochs), including quiescent-skipped ones.
+  std::int64_t epochs = 0;
+  /// Live-set trajectory: max and per-epoch sum of active_.size() right
+  /// after admission — peak / (sum/epochs) is the boundedness measure the
+  /// streaming bench gates (peak must stay near the steady-state mean).
+  std::int64_t peak_live_coflows = 0;
+  std::int64_t live_coflow_epoch_sum = 0;
+  /// Workload events pulled from the source (arrivals + dynamics + flips).
+  std::int64_t source_events = 0;
+  std::int64_t arrivals_admitted = 0;
+  /// Pops of the injected-arrival heap served by moving the spec out of its
+  /// store slot. Each of these was a deep copy (CoflowSpec + flow vector)
+  /// out of a std::priority_queue in the pre-streaming engine.
+  std::int64_t injected_moves = 0;
+  /// Finished CoflowStates destroyed mid-run (record_results = false).
+  std::int64_t reclaimed_coflows = 0;
 };
 
 class Engine {
  public:
+  /// Streams the workload lazily from `source` — the primary constructor.
+  Engine(std::shared_ptr<workload::WorkloadSource> source,
+         Scheduler& scheduler, SimConfig config = {});
+  /// Legacy materialized input: thin wrapper that streams the trace through
+  /// a workload::TraceSource (bit-identical to the pre-streaming engine).
   Engine(trace::Trace trace, Scheduler& scheduler, SimConfig config = {});
 
   /// Pre-run configuration -------------------------------------------------
+  /// Pre-run only; mid-run dynamics belong in the workload stream
+  /// (WorkloadEvent::kDynamics from a ScriptSource or custom source).
   void add_dynamics_event(DynamicsEvent event);
   /// §4.3 pipelining: the CoFlow's shuffle data only becomes available at
   /// `when`; spatially-aware schedulers skip it, others waste the slot.
+  /// Pre-run only; streamed workloads carry availability on the arrival
+  /// event (WorkloadEvent::data_ready) or as kDataAvailable events.
   void set_data_available_at(CoflowId id, SimTime when);
 
+  /// Streaming consumer of completion records (see ResultSink contract in
+  /// sim/result.h). With config.record_results = false this is the only
+  /// place per-CoFlow outcomes are observable. Not owned; must outlive run().
+  void set_result_sink(ResultSink* sink);
+
   /// Invoked when a CoFlow finishes; DAG runners use it to release
-  /// dependent stages via inject_coflow().
+  /// dependent stages via inject_coflow(). (Prefer workload::DagSource,
+  /// which does this inside the source layer.)
   using CompletionCallback =
       std::function<void(const CoflowRecord&, SimTime, Engine&)>;
   void set_completion_callback(CompletionCallback cb);
 
-  /// Adds a CoFlow during the run (arrival must be >= now).
+  /// Adds a CoFlow during the run (arrival must be >= now). Admission
+  /// merges with source arrivals in (arrival, id) order.
   void inject_coflow(CoflowSpec spec);
 
   /// Runs to completion of all CoFlows and returns the per-CoFlow records.
@@ -111,9 +154,53 @@ class Engine {
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
  private:
+  /// Injected (mid-run) arrivals: an index-into-store min-heap keyed by
+  /// (arrival, id) whose pops MOVE the spec out of its slot.
+  /// std::priority_queue::top() is const, so the old implementation
+  /// deep-copied the CoflowSpec (and its flow vector) on every pop.
+  struct InjectedHeap {
+    struct Entry {
+      SimTime arrival;
+      std::int64_t id;
+      std::uint32_t slot;
+    };
+    std::vector<Entry> heap;
+    std::vector<CoflowSpec> slots;
+    std::vector<std::uint32_t> free_slots;
+
+    [[nodiscard]] bool empty() const { return heap.empty(); }
+    [[nodiscard]] std::size_t size() const { return heap.size(); }
+    [[nodiscard]] const Entry& top() const { return heap.front(); }
+    void push(CoflowSpec spec);
+    [[nodiscard]] CoflowSpec pop();
+  };
+
+  /// Pops every source event with time <= now into the staging structures
+  /// (ordering spot-checks live here). The engine never holds a future
+  /// event: a reactive source may grow an *earlier* event off a completion,
+  /// so buffering ahead of time would freeze a stale "next".
+  void pull_due_source_events();
+  /// Earliest future input instant across source + injected heap; kNever
+  /// when both are exhausted.
+  [[nodiscard]] SimTime next_input_time();
+  [[nodiscard]] bool input_pending();
+  /// Admits every due arrival (source stream merged with injected heap in
+  /// (arrival, id) order), routes due non-arrival source events, and flips
+  /// data-availability gates whose release time passed.
   void admit_arrivals();
+  void admit_coflow(CoflowSpec spec, SimTime data_ready);
+  /// Applies due dynamics: the legacy pre-run list merged with streamed
+  /// kDynamics events in time order (legacy first on ties).
   void process_dynamics();
+  void apply_dynamics(const DynamicsEvent& ev);
   void compute_schedule();
+  /// Streaming-mode storage reclamation (see SimConfig::record_results).
+  /// Called only at the end of compute_schedule(): by then begin_epoch()
+  /// folded the previous epoch's touched flows, the scheduler consumed the
+  /// delta naming these CoFlows, and its caches are re-fenced — the
+  /// completion heap's stale events are the only remaining references, and
+  /// they are purged here before the states are freed.
+  void reclaim_finished();
   void verify_capacity() const;
   /// Advances the fluid model to `epoch_end`, resolving completions exactly.
   void advance_until(SimTime epoch_end);
@@ -130,7 +217,7 @@ class Engine {
   /// valid predicted finish (admission, post-restart); event mode only.
   void push_completion_events(CoflowState& coflow);
 
-  trace::Trace trace_;
+  std::shared_ptr<workload::WorkloadSource> source_;
   Scheduler& scheduler_;
   SimConfig config_;
   Fabric fabric_;
@@ -139,20 +226,38 @@ class Engine {
   RateAssignment rates_;
   CompletionHeap heap_;
 
-  struct ArrivalLater {
-    bool operator()(const CoflowSpec& a, const CoflowSpec& b) const {
-      return a.arrival > b.arrival ||
-             (a.arrival == b.arrival && a.id.value > b.id.value);
-    }
+  /// Due source arrivals staged this epoch, in stream order (time, id) —
+  /// merged against the injected heap by admit_arrivals.
+  struct StagedArrival {
+    CoflowSpec spec;
+    SimTime data_ready = 0;
   };
-  std::priority_queue<CoflowSpec, std::vector<CoflowSpec>, ArrivalLater> pending_;
-  std::vector<std::unique_ptr<CoflowState>> all_coflows_;
+  std::vector<StagedArrival> staged_arrivals_;
+  /// Ordering spot-check state for the source invariant. Only *pulled*
+  /// events are checked: the engine pulls strictly in due order, so any
+  /// non-monotone emission a source could make visible shows up here.
+  SimTime last_source_time_ = 0;
+  std::int64_t last_arrival_id_ = std::numeric_limits<std::int64_t>::min();
+
+  InjectedHeap injected_;
+  /// Ownership of every live CoflowState, keyed by pointer so streaming
+  /// reclamation can extract a finished CoFlow's storage in O(1).
+  std::unordered_map<const CoflowState*, std::unique_ptr<CoflowState>>
+      owned_coflows_;
+  /// Finished states awaiting the next safe reclamation point (the end of
+  /// the scheduling round that consumes their completion delta).
+  std::vector<std::unique_ptr<CoflowState>> graveyard_;
   std::vector<CoflowState*> active_;
   /// Appended freely pre-run; sorted by time once at run() start.
   std::vector<DynamicsEvent> dynamics_;
   std::size_t next_dynamics_ = 0;
+  /// Streamed kDynamics events already due, awaiting process_dynamics().
+  std::deque<DynamicsEvent> source_dynamics_;
+  /// Gate-release instants; kNever = gated until an explicit
+  /// kDataAvailable event arrives.
   std::unordered_map<CoflowId, SimTime> data_available_at_;
   CompletionCallback completion_callback_;
+  ResultSink* sink_ = nullptr;
 
   /// Dirty-set handed to the scheduler at each compute_schedule(): every
   /// CoFlow whose state changed since the previous call (arrivals,
@@ -173,9 +278,12 @@ class Engine {
   bool running_ = false;
 };
 
-/// Convenience wrapper: build an engine and run the trace through the
+/// Convenience wrappers: build an engine and run the workload through the
 /// scheduler with the given config.
 [[nodiscard]] SimResult simulate(const trace::Trace& trace, Scheduler& scheduler,
+                                 const SimConfig& config = {});
+[[nodiscard]] SimResult simulate(std::shared_ptr<workload::WorkloadSource> source,
+                                 Scheduler& scheduler,
                                  const SimConfig& config = {});
 
 }  // namespace saath

@@ -47,4 +47,21 @@ struct SimResult {
   [[nodiscard]] std::vector<double> speedup_over(const SimResult& baseline) const;
 };
 
+/// Streaming consumer of per-CoFlow completion records. With a sink attached
+/// and SimConfig::record_results = false, the engine never materializes the
+/// per-CoFlow vector in SimResult — million-CoFlow streaming runs aggregate
+/// CCT/JCT online in O(1) memory instead.
+///
+/// Contract: on_coflow_complete is invoked exactly once per finished CoFlow,
+/// at its completion instant, in completion order (NOT id order — sort-by-id
+/// is a property of the materialized SimResult only); the record reference
+/// is valid only for the duration of the call. on_run_end fires once, after
+/// the last completion, with the run's makespan.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void on_coflow_complete(const CoflowRecord& rec, SimTime now) = 0;
+  virtual void on_run_end(SimTime makespan) { (void)makespan; }
+};
+
 }  // namespace saath

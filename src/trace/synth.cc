@@ -119,11 +119,6 @@ void build_mesh_flows(CoflowSpec& c, std::span<const PortIndex> mappers,
   }
 }
 
-struct SizeBands {
-  double small_lo, small_hi;  // total coflow bytes when "small" (<= 100MB)
-  double large_lo, large_hi;  // total coflow bytes when "large"
-};
-
 [[nodiscard]] Trace synth_impl(const SynthConfig& cfg, const SizeBands& bands,
                                const std::string& name) {
   SAATH_EXPECTS(cfg.num_ports > 0 && cfg.num_coflows > 0);
@@ -131,7 +126,7 @@ struct SizeBands {
   Trace trace;
   trace.name = name;
   trace.num_ports = cfg.num_ports;
-  const auto cdf = zipf_cdf(cfg.num_ports, cfg.port_zipf);
+  const CoflowSampler sampler(cfg, bands);
 
   // Arrivals: wave bursts + Poisson background (see SynthConfig).
   std::vector<SimTime> arrivals;
@@ -158,52 +153,8 @@ struct SizeBands {
   std::sort(arrivals.begin(), arrivals.end());
 
   for (int i = 0; i < cfg.num_coflows; ++i) {
-    CoflowSpec c;
-    c.id = CoflowId{i};
-    c.arrival = arrivals[static_cast<std::size_t>(i)];
-
-    const bool single = rng.bernoulli(cfg.p_single);
-    MeshShape shape;
-    bool narrow = true;
-    if (!single) {
-      narrow = rng.bernoulli(cfg.p_narrow_given_multi);
-      shape = sample_mesh(rng, narrow, cfg.num_ports);
-    }
-
-    const double p_small =
-        (single || narrow) ? cfg.p_small_given_narrow : cfg.p_small_given_wide;
-    const bool small = rng.bernoulli(p_small);
-    const double total_bytes =
-        small ? log_uniform(rng, bands.small_lo, bands.small_hi)
-              : log_uniform(rng, bands.large_lo, bands.large_hi);
-
-    const auto mappers = sample_ports(rng, shape.mappers, cfg.num_ports, cdf);
-    const auto reducers = sample_ports(rng, shape.reducers, cfg.num_ports, cdf);
-
-    std::vector<double> reducer_bytes(static_cast<std::size_t>(shape.reducers));
-    const bool equal = single || rng.bernoulli(cfg.p_equal_given_multi);
-    if (equal) {
-      std::fill(reducer_bytes.begin(), reducer_bytes.end(),
-                total_bytes / shape.reducers);
-    } else {
-      // Lognormal per-reducer skew, renormalized to the drawn total. If the
-      // skew collapses to near-equality (possible for tiny meshes), force
-      // one reducer to differ so the equal/unequal classification is stable.
-      double sum = 0;
-      for (auto& b : reducer_bytes) {
-        b = std::exp(rng.uniform(-1.0, 1.0));
-        sum += b;
-      }
-      for (auto& b : reducer_bytes) b *= total_bytes / sum;
-      if (shape.reducers == 1 && shape.mappers > 1) {
-        // Unequal lengths need at least two distinct flow sizes, but an
-        // all-to-all mesh forces equal mapper shares per reducer; fall back
-        // to the equal classification for these shapes.
-      }
-    }
-
-    build_mesh_flows(c, mappers, reducers, reducer_bytes);
-    trace.coflows.push_back(std::move(c));
+    trace.coflows.push_back(sampler.sample(
+        rng, CoflowId{i}, arrivals[static_cast<std::size_t>(i)]));
   }
 
   trace.normalize();
@@ -212,14 +163,71 @@ struct SizeBands {
 
 }  // namespace
 
+CoflowSampler::CoflowSampler(const SynthConfig& config, const SizeBands& bands)
+    : cfg_(config), bands_(bands), cdf_(zipf_cdf(config.num_ports,
+                                                 config.port_zipf)) {
+  SAATH_EXPECTS(cfg_.num_ports > 0);
+}
+
+CoflowSpec CoflowSampler::sample(Rng& rng, CoflowId id, SimTime arrival) const {
+  CoflowSpec c;
+  c.id = id;
+  c.arrival = arrival;
+
+  const bool single = rng.bernoulli(cfg_.p_single);
+  MeshShape shape;
+  bool narrow = true;
+  if (!single) {
+    narrow = rng.bernoulli(cfg_.p_narrow_given_multi);
+    shape = sample_mesh(rng, narrow, cfg_.num_ports);
+  }
+
+  const double p_small = (single || narrow) ? cfg_.p_small_given_narrow
+                                            : cfg_.p_small_given_wide;
+  const bool small = rng.bernoulli(p_small);
+  const double total_bytes =
+      small ? log_uniform(rng, bands_.small_lo, bands_.small_hi)
+            : log_uniform(rng, bands_.large_lo, bands_.large_hi);
+
+  const auto mappers = sample_ports(rng, shape.mappers, cfg_.num_ports, cdf_);
+  const auto reducers = sample_ports(rng, shape.reducers, cfg_.num_ports, cdf_);
+
+  std::vector<double> reducer_bytes(static_cast<std::size_t>(shape.reducers));
+  const bool equal = single || rng.bernoulli(cfg_.p_equal_given_multi);
+  if (equal) {
+    std::fill(reducer_bytes.begin(), reducer_bytes.end(),
+              total_bytes / shape.reducers);
+  } else {
+    // Lognormal per-reducer skew, renormalized to the drawn total. If the
+    // skew collapses to near-equality (possible for tiny meshes), force
+    // one reducer to differ so the equal/unequal classification is stable.
+    double sum = 0;
+    for (auto& b : reducer_bytes) {
+      b = std::exp(rng.uniform(-1.0, 1.0));
+      sum += b;
+    }
+    for (auto& b : reducer_bytes) b *= total_bytes / sum;
+    if (shape.reducers == 1 && shape.mappers > 1) {
+      // Unequal lengths need at least two distinct flow sizes, but an
+      // all-to-all mesh forces equal mapper shares per reducer; fall back
+      // to the equal classification for these shapes.
+    }
+  }
+
+  build_mesh_flows(c, mappers, reducers, reducer_bytes);
+  return c;
+}
+
+SizeBands fb_size_bands() { return SizeBands{}; }
+
+SizeBands osp_size_bands() {
+  SizeBands bands;
+  bands.large_hi = 5.0 * kGB;
+  return bands;
+}
+
 Trace synth_fb_trace(const SynthConfig& config) {
-  const SizeBands bands{
-      .small_lo = 0.1 * kMB,
-      .small_hi = 100.0 * kMB,
-      .large_lo = 100.0 * kMB,
-      .large_hi = 10.0 * kGB,
-  };
-  return synth_impl(config, bands, "fb-synth");
+  return synth_impl(config, fb_size_bands(), "fb-synth");
 }
 
 Trace synth_osp_trace(std::uint64_t seed) {
@@ -236,13 +244,7 @@ Trace synth_osp_trace(std::uint64_t seed) {
   cfg.p_narrow_given_multi = 0.62;
   cfg.p_small_given_narrow = 0.85;
   cfg.p_small_given_wide = 0.50;
-  const SizeBands bands{
-      .small_lo = 0.1 * kMB,
-      .small_hi = 100.0 * kMB,
-      .large_lo = 100.0 * kMB,
-      .large_hi = 5.0 * kGB,
-  };
-  return synth_impl(cfg, bands, "osp-synth");
+  return synth_impl(cfg, osp_size_bands(), "osp-synth");
 }
 
 Trace synth_small_trace(int num_ports, int num_coflows, std::uint64_t seed) {

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "common/rng.h"
 #include "trace/trace.h"
 
 namespace saath::trace {
@@ -57,6 +59,41 @@ struct SynthConfig {
   /// Table-1 bins come out near 54/14/12/20.
   double p_small_given_narrow = 0.82;
   double p_small_given_wide = 0.41;
+};
+
+/// Total-size bands conditioned on the Table-1 small/large split.
+struct SizeBands {
+  double small_lo = 0.1 * kMB;  // total coflow bytes when "small" (<= 100MB)
+  double small_hi = 100.0 * kMB;
+  double large_lo = 100.0 * kMB;  // total coflow bytes when "large"
+  double large_hi = 10.0 * kGB;
+};
+
+[[nodiscard]] SizeBands fb_size_bands();
+[[nodiscard]] SizeBands osp_size_bands();
+
+/// Draws one CoFlow *body* (mesh shape, ports, per-flow sizes) per call from
+/// the Fig-2 marginals — the per-CoFlow kernel both the batch generators and
+/// the streaming workload::SynthSource share, so a streamed workload is
+/// drawn from exactly the distributions the materialized traces are. The
+/// arrival-process fields of SynthConfig are ignored here; callers supply
+/// the arrival instant. Stateless across calls apart from the caller's Rng:
+/// generating N CoFlows costs O(1) memory beyond the spec being built.
+class CoflowSampler {
+ public:
+  CoflowSampler(const SynthConfig& config, const SizeBands& bands);
+
+  /// Draw order per CoFlow is part of the contract (seeded equivalence
+  /// tests rely on it): single?, [narrow?, mesh], small?, total size,
+  /// mapper ports, reducer ports, equal?, [per-reducer skew].
+  [[nodiscard]] CoflowSpec sample(Rng& rng, CoflowId id, SimTime arrival) const;
+
+  [[nodiscard]] int num_ports() const { return cfg_.num_ports; }
+
+ private:
+  SynthConfig cfg_;
+  SizeBands bands_;
+  std::vector<double> cdf_;  // zipf port-popularity CDF, built once
 };
 
 /// FB-like trace with the DESIGN.md §2 distributions.

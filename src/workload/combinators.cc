@@ -1,0 +1,231 @@
+#include "workload/combinators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace saath::workload {
+
+// ----------------------------------------------------------- MergeSource
+
+MergeSource::MergeSource(
+    std::vector<std::shared_ptr<WorkloadSource>> children, bool reassign_ids)
+    : children_(std::move(children)), reassign_ids_(reassign_ids) {
+  SAATH_EXPECTS(!children_.empty());
+  name_ = "merge(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    SAATH_EXPECTS(children_[i] != nullptr);
+    if (i > 0) name_ += "+";
+    name_ += children_[i]->name();
+    num_ports_ = std::max(num_ports_, children_[i]->num_ports());
+  }
+  name_ += ")";
+}
+
+std::pair<int, SimTime> MergeSource::pick_child() {
+  int best = -1;
+  SimTime best_time = kNever;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    const SimTime t = children_[i]->peek_next_time();
+    if (t == kNever) continue;
+    if (best == -1 || t < best_time) {
+      best = static_cast<int>(i);
+      best_time = t;
+    }
+  }
+  return {best, best_time};
+}
+
+SimTime MergeSource::peek_next_time() { return pick_child().second; }
+
+WorkloadEvent MergeSource::next() {
+  const int child = pick_child().first;
+  SAATH_EXPECTS(child >= 0);
+  const auto ci = static_cast<std::size_t>(child);
+  WorkloadEvent ev = children_[ci]->next();
+  if (!reassign_ids_) return ev;
+  if (ev.kind == WorkloadEvent::Kind::kArrival) {
+    const auto key = std::make_pair(ci, ev.coflow.id.value);
+    if (const auto pit = pending_releases_.find(key);
+        pit != pending_releases_.end()) {
+      // A release outran this arrival (a jittered child can reorder them):
+      // fold the parked release into the arrival's own gate field.
+      if (ev.data_ready == kNever || pit->second < ev.data_ready) {
+        ev.data_ready = pit->second;
+      }
+      pending_releases_.erase(pit);
+    }
+    routes_.emplace(next_id_, key);
+    forward_.emplace(key, next_id_);
+    ev.coflow.id = CoflowId{next_id_++};
+  } else if (ev.kind == WorkloadEvent::Kind::kDataAvailable) {
+    // The release targets the child's id space; remap it to the id the
+    // arrival was emitted under — passing the raw id through would
+    // gate-release whichever coflow happens to own it in the dense space.
+    const auto key = std::make_pair(ci, ev.gated.value);
+    if (const auto it = forward_.find(key); it != forward_.end()) {
+      ev.gated = CoflowId{it->second};
+    } else {
+      // Arrival not emitted yet: park the release for the fold above and
+      // neutralize the event (an invalid id releases nothing downstream).
+      const auto [pit, inserted] = pending_releases_.try_emplace(key, ev.time);
+      if (!inserted && ev.time < pit->second) pit->second = ev.time;
+      ev.gated = CoflowId{};
+    }
+  }
+  return ev;
+}
+
+void MergeSource::on_coflow_complete(const CoflowRecord& rec, SimTime now) {
+  if (!reassign_ids_) {
+    // Without reassignment ids are ambiguous across tenants; broadcast and
+    // let children ignore CoFlows they never emitted.
+    for (auto& child : children_) child->on_coflow_complete(rec, now);
+    return;
+  }
+  const auto it = routes_.find(rec.id.value);
+  if (it == routes_.end()) return;
+  CoflowRecord routed = rec;
+  routed.id = CoflowId{it->second.second};
+  forward_.erase(std::make_pair(it->second.first, it->second.second));
+  children_[it->second.first]->on_coflow_complete(routed, now);
+  routes_.erase(it);
+}
+
+// --------------------------------------------------------- ScaleArrivals
+
+ScaleArrivals::ScaleArrivals(std::shared_ptr<WorkloadSource> inner,
+                             double factor)
+    : inner_(std::move(inner)), factor_(factor) {
+  SAATH_EXPECTS(inner_ != nullptr);
+  SAATH_EXPECTS(factor_ > 0);
+}
+
+std::string ScaleArrivals::name() const {
+  return inner_->name() + "*A" + std::to_string(factor_);
+}
+
+SimTime ScaleArrivals::scale(SimTime t) const {
+  if (t == kNever) return kNever;
+  // Same grid as Trace::scaled_arrivals, for bit-compatibility with the
+  // materialized sweep path it replaces.
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(t) / factor_));
+}
+
+void ScaleArrivals::refill() {
+  if (batch_pos_ < batch_.size()) return;
+  batch_.clear();
+  batch_pos_ = 0;
+  const SimTime head = inner_->peek_next_time();
+  if (head == kNever) return;
+  const SimTime tick = scale(head);
+  while (inner_->peek_next_time() != kNever &&
+         scale(inner_->peek_next_time()) == tick) {
+    WorkloadEvent ev = inner_->next();
+    ev.time = tick;
+    switch (ev.kind) {
+      case WorkloadEvent::Kind::kArrival:
+        ev.coflow.arrival = tick;
+        ev.data_ready = scale(ev.data_ready);
+        break;
+      case WorkloadEvent::Kind::kDynamics:
+        ev.dynamics.time = tick;
+        break;
+      case WorkloadEvent::Kind::kDataAvailable:
+        break;
+    }
+    batch_.push_back(std::move(ev));
+  }
+  // Distinct inner instants collapsed onto this tick must come out with
+  // arrivals ascending by id (the ordering invariant; also the order the
+  // materialized scaled_arrivals path admits such ties). Key-based so the
+  // comparator is a strict weak ordering over the mixed batch; stable so
+  // non-arrivals keep their pull order.
+  std::stable_sort(batch_.begin(), batch_.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     const auto key = [](const WorkloadEvent& ev) {
+                       const bool arrival =
+                           ev.kind == WorkloadEvent::Kind::kArrival;
+                       return std::make_pair(arrival ? 0 : 1,
+                                             arrival ? ev.coflow.id.value : 0);
+                     };
+                     return key(a) < key(b);
+                   });
+}
+
+SimTime ScaleArrivals::peek_next_time() {
+  refill();
+  return batch_pos_ < batch_.size() ? batch_[batch_pos_].time : kNever;
+}
+
+WorkloadEvent ScaleArrivals::next() {
+  refill();
+  SAATH_EXPECTS(batch_pos_ < batch_.size());
+  return std::move(batch_[batch_pos_++]);
+}
+
+// ---------------------------------------------------------- JitterSource
+
+JitterSource::JitterSource(std::shared_ptr<WorkloadSource> inner,
+                           SimTime max_jitter, std::uint64_t seed)
+    : inner_(std::move(inner)), max_jitter_(max_jitter), rng_(seed) {
+  SAATH_EXPECTS(inner_ != nullptr);
+  SAATH_EXPECTS(max_jitter_ >= 0);
+}
+
+std::string JitterSource::name() const {
+  return inner_->name() + "+jitter";
+}
+
+void JitterSource::refill() {
+  // Pull while the inner's head could still sort at or before our buffered
+  // head: jitter only adds time, so once inner.peek > buffer-top time no
+  // future inner event can precede the top.
+  for (;;) {
+    const SimTime t = inner_->peek_next_time();
+    if (t == kNever) return;
+    if (!buffer_.empty() && t > buffer_.top().time) return;
+    WorkloadEvent ev = inner_->next();
+    Buffered b;
+    b.seq = seq_++;
+    if (ev.kind == WorkloadEvent::Kind::kArrival) {
+      const SimTime jitter =
+          max_jitter_ == 0
+              ? 0
+              : static_cast<SimTime>(std::llround(
+                    rng_.uniform(0.0, static_cast<double>(max_jitter_))));
+      ev.time += jitter;
+      ev.coflow.arrival = ev.time;
+      if (ev.data_ready != kNever && ev.data_ready < ev.time) {
+        ev.data_ready = ev.time;
+      }
+      b.kind_rank = 0;
+      b.key = ev.coflow.id.value;
+    } else {
+      b.kind_rank = 1;
+      b.key = static_cast<std::int64_t>(b.seq);
+    }
+    b.time = ev.time;
+    b.ev = std::move(ev);
+    buffer_.push(std::move(b));
+  }
+}
+
+SimTime JitterSource::peek_next_time() {
+  refill();
+  return buffer_.empty() ? kNever : buffer_.top().time;
+}
+
+WorkloadEvent JitterSource::next() {
+  refill();
+  SAATH_EXPECTS(!buffer_.empty());
+  // priority_queue::top is const; the buffered event is moved out via the
+  // const_cast idiom — the pop immediately invalidates the slot.
+  WorkloadEvent ev = std::move(const_cast<Buffered&>(buffer_.top()).ev);
+  buffer_.pop();
+  return ev;
+}
+
+}  // namespace saath::workload

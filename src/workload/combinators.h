@@ -1,0 +1,147 @@
+// Source combinators: multi-tenant merges and arrival-shaping decorators.
+//
+// These compose over any WorkloadSource (including each other), so a
+// scenario is an expression tree — e.g. Merge(Scale(TraceSource(fb), 2),
+// SynthSource(tenant2), ScriptSource(failures)) — evaluated lazily one
+// event at a time. Nothing is materialized: a ScaleArrivals sweep over a
+// shared trace costs one spec copy per emission instead of a full
+// Trace::scaled_arrivals clone per point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/source.h"
+
+namespace saath::workload {
+
+/// K-way time-ordered merge of child streams — the multi-tenant mix. By
+/// default arrivals are re-identified densely in emission order (children
+/// may reuse ids); completion feedback is routed back to the emitting child
+/// with the child's original id restored, so reactive children (DagSource)
+/// compose under a merge. Ties are popped lowest-child-first, which keeps
+/// the reassigned ids ascending at equal times — the ordering invariant
+/// holds by construction.
+class MergeSource : public WorkloadSource {
+ public:
+  explicit MergeSource(std::vector<std::shared_ptr<WorkloadSource>> children,
+                       bool reassign_ids = true);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] int num_ports() const override { return num_ports_; }
+  [[nodiscard]] SimTime peek_next_time() override;
+  [[nodiscard]] WorkloadEvent next() override;
+  void on_coflow_complete(const CoflowRecord& rec, SimTime now) override;
+
+ private:
+  /// Child with the earliest due event (ties: lowest index) and that
+  /// event's time; {-1, kNever} when none.
+  [[nodiscard]] std::pair<int, SimTime> pick_child();
+
+  std::vector<std::shared_ptr<WorkloadSource>> children_;
+  bool reassign_ids_ = true;
+  std::string name_;
+  int num_ports_ = 0;
+  std::int64_t next_id_ = 0;
+  /// Emitted arrival id -> (child index, child's original id).
+  std::unordered_map<std::int64_t, std::pair<std::size_t, std::int64_t>>
+      routes_;
+  /// Inverse: (child index, child's original id) -> emitted id, so
+  /// kDataAvailable releases (emitted after their arrival) remap too.
+  std::map<std::pair<std::size_t, std::int64_t>, std::int64_t> forward_;
+  /// Releases that outran their arrival (a jittered child can reorder
+  /// them): earliest release instant per (child, original id), folded into
+  /// the arrival's data_ready when it finally emerges.
+  std::map<std::pair<std::size_t, std::int64_t>, SimTime> pending_releases_;
+};
+
+/// Divides every event time by `factor` (the Fig 14(d) arrival-scaling A
+/// knob): factor > 1 compresses arrivals, < 1 stretches them. Uses the same
+/// llround grid as Trace::scaled_arrivals, so ScaleArrivals(TraceSource(t),
+/// A) reproduces Engine(t.scaled_arrivals(A)) bit-exactly — without copying
+/// the trace per sweep point.
+///
+/// Compression can collapse *distinct* inner instants onto one output
+/// microsecond, so events are emitted through a one-tick batch whose
+/// arrivals are re-sorted by id — preserving the ordering invariant (the
+/// materialized scaled_arrivals path orders such ties by id too, so the
+/// bit-compatibility holds). Not for reactive inners: completion feedback
+/// is forwarded with outer-domain times the inner would scale twice.
+class ScaleArrivals : public WorkloadSource {
+ public:
+  ScaleArrivals(std::shared_ptr<WorkloadSource> inner, double factor);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int num_ports() const override { return inner_->num_ports(); }
+  [[nodiscard]] SimTime peek_next_time() override;
+  [[nodiscard]] WorkloadEvent next() override;
+  void on_coflow_complete(const CoflowRecord& rec, SimTime now) override {
+    inner_->on_coflow_complete(rec, now);
+  }
+
+ private:
+  [[nodiscard]] SimTime scale(SimTime t) const;
+  /// Pulls every inner event landing on the next output tick and restores
+  /// the ascending-id arrival order within it.
+  void refill();
+
+  std::shared_ptr<WorkloadSource> inner_;
+  double factor_ = 1.0;
+  std::vector<WorkloadEvent> batch_;
+  std::size_t batch_pos_ = 0;
+};
+
+/// Adds seeded non-negative uniform jitter in [0, max_jitter] to arrival
+/// times (dynamics/data events pass through unshifted). Jitter can reorder
+/// nearby arrivals, so emissions go through a bounded re-sort buffer: an
+/// event is released only once the inner stream has advanced past its
+/// jittered time (jitter never subtracts, so nothing still inside the inner
+/// source can precede it). Buffer occupancy is bounded by the number of
+/// inner events in any max_jitter window.
+class JitterSource : public WorkloadSource {
+ public:
+  JitterSource(std::shared_ptr<WorkloadSource> inner, SimTime max_jitter,
+               std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int num_ports() const override { return inner_->num_ports(); }
+  [[nodiscard]] SimTime peek_next_time() override;
+  [[nodiscard]] WorkloadEvent next() override;
+  void on_coflow_complete(const CoflowRecord& rec, SimTime now) override {
+    inner_->on_coflow_complete(rec, now);
+  }
+
+ private:
+  struct Buffered {
+    SimTime time;
+    int kind_rank;      // arrivals first at equal times
+    std::int64_t key;   // arrival id (tie order invariant) or pull sequence
+    std::uint64_t seq;  // insertion order, the final determinism tie-break
+    WorkloadEvent ev;
+  };
+  struct Later {
+    bool operator()(const Buffered& a, const Buffered& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.kind_rank != b.kind_rank) return a.kind_rank > b.kind_rank;
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
+    }
+  };
+
+  void refill();
+
+  std::shared_ptr<WorkloadSource> inner_;
+  SimTime max_jitter_ = 0;
+  Rng rng_;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Buffered, std::vector<Buffered>, Later> buffer_;
+};
+
+}  // namespace saath::workload

@@ -1,0 +1,65 @@
+#include "workload/dag_source.h"
+
+#include <utility>
+
+#include "common/expect.h"
+
+namespace saath::workload {
+
+DagSource::DagSource(std::string name, int num_ports)
+    : name_(std::move(name)), num_ports_(num_ports) {
+  SAATH_EXPECTS(num_ports_ > 0);
+}
+
+void DagSource::add_job(JobSpec job) {
+  SAATH_EXPECTS(job.id.valid());
+  const SimTime arrival = job.arrival;
+  auto [it, inserted] = jobs_.emplace(job.id, JobTracker(std::move(job)));
+  SAATH_EXPECTS(inserted);  // one tracker per JobId
+  release_ready(it->second, arrival);
+}
+
+void DagSource::release_ready(JobTracker& tracker, SimTime at) {
+  for (int stage : tracker.ready_stages()) {
+    Pending p;
+    p.time = at;
+    p.id = next_id_;
+    p.spec = tracker.make_coflow(stage, CoflowId{next_id_}, at);
+    ++next_id_;
+    ready_.push(std::move(p));
+    tracker.mark_released(stage);
+  }
+}
+
+SimTime DagSource::peek_next_time() {
+  return ready_.empty() ? kNever : ready_.top().time;
+}
+
+WorkloadEvent DagSource::next() {
+  SAATH_EXPECTS(!ready_.empty());
+  CoflowSpec spec = std::move(const_cast<Pending&>(ready_.top()).spec);
+  ready_.pop();
+  return WorkloadEvent::arrival(std::move(spec));
+}
+
+void DagSource::on_coflow_complete(const CoflowRecord& rec, SimTime now) {
+  const auto it = jobs_.find(rec.job);
+  if (it == jobs_.end()) return;  // not ours (merged multi-tenant streams)
+  it->second.mark_finished(rec.stage, now);
+  release_ready(it->second, now);
+}
+
+bool DagSource::all_jobs_finished() const {
+  for (const auto& [id, tracker] : jobs_) {
+    if (!tracker.all_finished()) return false;
+  }
+  return true;
+}
+
+SimTime DagSource::job_finish_time(JobId id) const {
+  const auto it = jobs_.find(id);
+  SAATH_EXPECTS(it != jobs_.end());
+  return it->second.finish_time();
+}
+
+}  // namespace saath::workload

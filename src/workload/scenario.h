@@ -1,0 +1,94 @@
+// Scenario registry: named, parameterized workload + config recipes.
+//
+// A scenario is a factory that builds a fresh WorkloadSource (sources are
+// consumed by a run) plus the SimConfig it should run under. Benches,
+// examples, CI smoke jobs, and the saath_sim driver all pull the same named
+// scenarios from here, so "steady-churn" means the same workload
+// everywhere. Registration is open: user code can register_scenario() its
+// own recipes next to the built-ins (fb-replay, osp-replay, steady-churn,
+// multi-tenant-merge, failure-storm, pipeline-dag).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.h"
+#include "workload/source.h"
+
+namespace saath::workload {
+
+/// String key=value overrides from the driver command line. Unknown keys
+/// are ignored (scenarios read only the knobs they understand), so one CI
+/// override like coflows=200 can apply across heterogeneous scenarios.
+class ScenarioParams {
+ public:
+  ScenarioParams() = default;
+  explicit ScenarioParams(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
+
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One runnable instantiation of a scenario.
+struct ScenarioSetup {
+  std::shared_ptr<WorkloadSource> source;
+  SimConfig config;
+  std::string default_scheduler = "saath";
+};
+
+struct ScenarioInfo {
+  std::string name;
+  std::string description;
+};
+
+using ScenarioFactory = std::function<ScenarioSetup(const ScenarioParams&)>;
+
+/// Registers (or replaces) a named scenario.
+void register_scenario(std::string name, std::string description,
+                       ScenarioFactory factory);
+
+/// All registered scenarios (built-ins included), sorted by name.
+[[nodiscard]] std::vector<ScenarioInfo> known_scenarios();
+
+/// Builds a fresh setup. Throws std::invalid_argument on unknown names
+/// (listing the known ones).
+[[nodiscard]] ScenarioSetup make_scenario(std::string_view name,
+                                          const ScenarioParams& params = {});
+
+/// Outcome of a driver run: the (possibly record-free) SimResult plus the
+/// engine telemetry the driver and CI gates report.
+struct ScenarioRunResult {
+  SimResult result;
+  EngineStats stats;
+  int rounds = 0;
+  SimTime now = 0;
+};
+
+/// One-call driver: make the scenario, build the scheduler (empty name =
+/// the scenario's default), run the engine. `sink` may be null; when given
+/// it receives every completion record (and the run can set
+/// config.record_results = false via params key "records=0").
+[[nodiscard]] ScenarioRunResult run_scenario(std::string_view name,
+                                             const ScenarioParams& params = {},
+                                             std::string_view scheduler = {},
+                                             ResultSink* sink = nullptr);
+
+}  // namespace saath::workload

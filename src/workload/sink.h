@@ -1,0 +1,51 @@
+// Streaming result aggregation for runs too large to materialize.
+//
+// A million-CoFlow streaming run cannot afford one CoflowRecord (plus its
+// per-flow vectors) per CoFlow in SimResult. CctAggregator implements the
+// ResultSink contract with O(1) state: exact count/mean/max plus a
+// fixed-size log-spaced CCT histogram for approximate percentiles (relative
+// error bounded by the bucket ratio, ~1.2%).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/result.h"
+
+namespace saath::workload {
+
+class CctAggregator : public ResultSink {
+ public:
+  void on_coflow_complete(const CoflowRecord& rec, SimTime now) override;
+  void on_run_end(SimTime makespan) override { makespan_ = makespan; }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean_cct_seconds() const {
+    return count_ == 0 ? 0 : sum_cct_seconds_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max_cct_seconds() const { return max_cct_seconds_; }
+  [[nodiscard]] SimTime makespan() const { return makespan_; }
+  [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
+
+  /// Approximate percentile (p in [0, 100]) from the log histogram.
+  [[nodiscard]] double percentile_cct_seconds(double p) const;
+
+ private:
+  /// Buckets span [1µs, ~3.5e3 s) with ratio 1.025 per bucket; CCTs outside
+  /// clamp to the edge buckets.
+  static constexpr int kBuckets = 896;
+  static constexpr double kLogBase = 1.025;
+  static constexpr double kFloorSeconds = 1e-6;
+
+  [[nodiscard]] static int bucket_of(double cct_seconds);
+
+  std::int64_t count_ = 0;
+  double sum_cct_seconds_ = 0;
+  double max_cct_seconds_ = 0;
+  Bytes total_bytes_ = 0;
+  SimTime makespan_ = 0;
+  std::array<std::int64_t, kBuckets> hist_{};
+};
+
+}  // namespace saath::workload

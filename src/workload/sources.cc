@@ -1,0 +1,129 @@
+#include "workload/sources.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/expect.h"
+
+namespace saath::workload {
+
+// ----------------------------------------------------------- TraceSource
+
+TraceSource::TraceSource(trace::Trace trace)
+    : owned_(std::move(trace)), view_(&owned_) {
+  build_order();
+}
+
+TraceSource::TraceSource(std::shared_ptr<const trace::Trace> trace)
+    : shared_(std::move(trace)), view_(shared_.get()) {
+  SAATH_EXPECTS(view_ != nullptr);
+  build_order();
+}
+
+void TraceSource::build_order() {
+  SAATH_EXPECTS(view_->num_ports > 0);
+  order_.resize(view_->coflows.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     const auto& ca = view_->coflows[a];
+                     const auto& cb = view_->coflows[b];
+                     return ca.arrival < cb.arrival ||
+                            (ca.arrival == cb.arrival && ca.id < cb.id);
+                   });
+}
+
+SimTime TraceSource::peek_next_time() {
+  if (cursor_ >= order_.size()) return kNever;
+  return view_->coflows[order_[cursor_]].arrival;
+}
+
+WorkloadEvent TraceSource::next() {
+  SAATH_EXPECTS(cursor_ < order_.size());
+  const std::uint32_t idx = order_[cursor_++];
+  CoflowSpec spec = shared_ ? view_->coflows[idx]            // shared: copy one
+                            : std::move(owned_.coflows[idx]);  // owned: move out
+  return WorkloadEvent::arrival(std::move(spec));
+}
+
+// ---------------------------------------------------------- ScriptSource
+
+ScriptSource::ScriptSource(std::string name, int num_ports,
+                           std::vector<WorkloadEvent> events)
+    : name_(std::move(name)), num_ports_(num_ports), events_(std::move(events)) {
+  SAATH_EXPECTS(num_ports_ > 0);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+SimTime ScriptSource::peek_next_time() {
+  if (cursor_ >= events_.size()) return kNever;
+  return events_[cursor_].time;
+}
+
+WorkloadEvent ScriptSource::next() {
+  SAATH_EXPECTS(cursor_ < events_.size());
+  return std::move(events_[cursor_++]);
+}
+
+// ----------------------------------------------------------- SynthSource
+
+SynthSource::SynthSource(SynthStreamConfig config)
+    : config_(std::move(config)),
+      sampler_(config_.shape, config_.bands),
+      rng_(config_.seed) {
+  SAATH_EXPECTS(config_.mean_gap > 0);
+  SAATH_EXPECTS(config_.burst_gap > 0);
+  SAATH_EXPECTS(config_.p_burst >= 0 && config_.p_burst <= 1);
+}
+
+void SynthSource::refill() {
+  if (lookahead_valid_) return;
+  if (config_.num_coflows >= 0 && next_id_ >= config_.num_coflows) return;
+  // Draw order (pinned by the seeded-equivalence test): burst?, gap, body.
+  const SimTime scale =
+      (config_.p_burst > 0 && rng_.bernoulli(config_.p_burst))
+          ? config_.burst_gap
+          : config_.mean_gap;
+  const double gap = rng_.exponential(static_cast<double>(scale));
+  clock_ += std::max<SimTime>(0, static_cast<SimTime>(std::llround(gap)));
+  lookahead_ = sampler_.sample(rng_, CoflowId{next_id_}, clock_);
+  ++next_id_;
+  lookahead_valid_ = true;
+}
+
+SimTime SynthSource::peek_next_time() {
+  refill();
+  return lookahead_valid_ ? lookahead_.arrival : kNever;
+}
+
+WorkloadEvent SynthSource::next() {
+  refill();
+  SAATH_EXPECTS(lookahead_valid_);
+  lookahead_valid_ = false;
+  return WorkloadEvent::arrival(std::move(lookahead_));
+}
+
+// --------------------------------------------------------------- helpers
+
+trace::Trace materialize_arrivals(WorkloadSource& source,
+                                  std::int64_t max_events) {
+  trace::Trace trace;
+  trace.name = source.name();
+  trace.num_ports = source.num_ports();
+  std::int64_t taken = 0;
+  while (source.peek_next_time() != kNever &&
+         (max_events < 0 || taken < max_events)) {
+    WorkloadEvent ev = source.next();
+    SAATH_EXPECTS(ev.kind == WorkloadEvent::Kind::kArrival);
+    trace.coflows.push_back(std::move(ev.coflow));
+    ++taken;
+  }
+  return trace;
+}
+
+}  // namespace saath::workload
