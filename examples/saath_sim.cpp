@@ -7,11 +7,16 @@
 //   $ ./saath_sim --scenario=steady-churn
 //   $ ./saath_sim --scenario=failure-storm --scheduler=aalo
 //   $ ./saath_sim --scenario=steady-churn --set coflows=100000 --stream
+//   $ ./saath_sim --scenario=steady-churn --repeat=8 --seed-stride=7 --jobs=4
 //
 // --set key=value overrides scenario knobs (unknown keys are ignored);
 // --stream drops per-CoFlow record materialization and aggregates CCTs
 // online through a CctAggregator sink (the O(live)-memory path).
+// --repeat=K runs K seed-shifted repetitions (seed = base + rep *
+// --seed-stride), and --jobs=N runs the resulting cells concurrently —
+// each on its own Engine/Fabric/RNG, so output is identical for any N.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -40,6 +45,9 @@ int main(int argc, char** argv) {
   std::string scenario;
   std::string scheduler;
   bool stream = false;
+  int jobs = 1;
+  int repeat = 1;
+  long long seed_stride = 1;
   workload::ScenarioParams params;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,6 +64,12 @@ int main(int argc, char** argv) {
       scenario = v;
     } else if (auto v = value_of("--scheduler"); !v.empty()) {
       scheduler = v;
+    } else if (auto v = value_of("--jobs"); !v.empty()) {
+      jobs = std::atoi(v.c_str());
+    } else if (auto v = value_of("--repeat"); !v.empty()) {
+      repeat = std::atoi(v.c_str());
+    } else if (auto v = value_of("--seed-stride"); !v.empty()) {
+      seed_stride = std::atoll(v.c_str());
     } else if (arg == "--set" && i + 1 < argc) {
       const std::string kv = argv[++i];
       const auto eq = kv.find('=');
@@ -67,7 +81,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: saath_sim --scenario=<name> [--scheduler=<name>] "
-                   "[--set key=value]... [--stream] | --list | --list-names\n");
+                   "[--set key=value]... [--stream] [--jobs=N] [--repeat=K] "
+                   "[--seed-stride=S] | --list | --list-names\n");
       return 2;
     }
   }
@@ -75,33 +90,63 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "missing --scenario=<name>; --list shows them\n");
     return 2;
   }
+  if (jobs < 1 || repeat < 1) {
+    std::fprintf(stderr, "--jobs and --repeat must be >= 1\n");
+    return 2;
+  }
 
-  workload::CctAggregator agg;
   if (stream) params.set("records", "0");
-  workload::ScenarioRunResult run;
+  // One campaign cell per repetition. A single repetition without an
+  // explicit seed keeps the scenario's default; repetitions are
+  // seed-shifted from the base so cells differ deterministically.
+  std::vector<workload::CampaignCell> cells;
+  for (int rep = 0; rep < repeat; ++rep) {
+    workload::CampaignCell cell;
+    cell.scenario = scenario;
+    cell.scheduler = scheduler;
+    cell.params = params;
+    if (repeat > 1) {
+      const long long base = params.get_int("seed", 1);
+      cell.params.set("seed", std::to_string(base + rep * seed_stride));
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  std::vector<workload::CampaignOutcome> outcomes;
   try {
-    run = workload::run_scenario(scenario, params, scheduler, &agg);
+    outcomes = workload::run_campaign(cells, jobs);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
-  std::printf("scenario '%s' scheduler '%s' source '%s'\n", scenario.c_str(),
-              run.result.scheduler.c_str(), run.result.trace.c_str());
-  std::printf(
-      "  coflows %lld  makespan %.3fs  mean CCT %.3fs  ~P50 %.3fs  ~P90 "
-      "%.3fs\n",
-      static_cast<long long>(agg.count()), to_seconds(agg.makespan()),
-      agg.mean_cct_seconds(), agg.percentile_cct_seconds(50),
-      agg.percentile_cct_seconds(90));
-  std::printf(
-      "  epochs %lld  rounds %d  peak live %lld  source events %lld  "
-      "injected moves %lld\n",
-      static_cast<long long>(run.stats.epochs), run.rounds,
-      static_cast<long long>(run.stats.peak_live_coflows),
-      static_cast<long long>(run.stats.source_events),
-      static_cast<long long>(run.stats.injected_moves));
-  if (agg.count() == 0) {
+  // Report strictly in cell order: byte-identical output for any --jobs.
+  bool any_empty = false;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const workload::ScenarioRunResult& run = outcomes[i].run;
+    const workload::CctAggregator& agg = outcomes[i].agg;
+    if (repeat > 1) {
+      std::printf("[rep %zu seed %s] ", i,
+                  cells[i].params.get_string("seed", "-").c_str());
+    }
+    std::printf("scenario '%s' scheduler '%s' source '%s'\n", scenario.c_str(),
+                run.result.scheduler.c_str(), run.result.trace.c_str());
+    std::printf(
+        "  coflows %lld  makespan %.3fs  mean CCT %.3fs  ~P50 %.3fs  ~P90 "
+        "%.3fs\n",
+        static_cast<long long>(agg.count()), to_seconds(agg.makespan()),
+        agg.mean_cct_seconds(), agg.percentile_cct_seconds(50),
+        agg.percentile_cct_seconds(90));
+    std::printf(
+        "  epochs %lld  rounds %d  peak live %lld  source events %lld  "
+        "injected moves %lld\n",
+        static_cast<long long>(run.stats.epochs), run.rounds,
+        static_cast<long long>(run.stats.peak_live_coflows),
+        static_cast<long long>(run.stats.source_events),
+        static_cast<long long>(run.stats.injected_moves));
+    if (agg.count() == 0) any_empty = true;
+  }
+  if (any_empty) {
     std::fprintf(stderr, "scenario produced no coflows\n");
     return 1;
   }

@@ -1,7 +1,10 @@
 #include "analysis/metrics.h"
 
+#include <algorithm>
+
 #include "common/expect.h"
 #include "common/stats.h"
+#include "parallel/thread_pool.h"
 #include "sched/factory.h"
 #include "workload/sources.h"
 
@@ -27,29 +30,47 @@ SpeedupSummary summarize_speedup(const SimResult& scheme,
 
 std::map<std::string, SimResult> run_schedulers(
     const trace::Trace& trace, const std::vector<std::string>& names,
-    const SimConfig& config, double deadline_factor) {
+    const SimConfig& config, double deadline_factor, int jobs) {
   auto shared = std::make_shared<const trace::Trace>(trace);
   return run_schedulers(
       [shared] {
         return std::static_pointer_cast<workload::WorkloadSource>(
             std::make_shared<workload::TraceSource>(shared));
       },
-      names, config, deadline_factor);
+      names, config, deadline_factor, jobs);
 }
 
 std::map<std::string, SimResult> run_schedulers(
     const std::function<std::shared_ptr<workload::WorkloadSource>()>&
         make_source,
     const std::vector<std::string>& names, const SimConfig& config,
-    double deadline_factor) {
-  std::map<std::string, SimResult> results;
-  for (const auto& name : names) {
+    double deadline_factor, int jobs) {
+  const auto run_one = [&](const std::string& name) {
     SchedulerOptions options;
     options.deadline_factor = deadline_factor;
     auto scheduler = make_scheduler(name, options);
     SimConfig cfg = config;
     apply_scheduler_sim_overrides(name, cfg);
-    results.emplace(name, simulate(make_source(), *scheduler, cfg));
+    return simulate(make_source(), *scheduler, cfg);
+  };
+  std::map<std::string, SimResult> results;
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      names.size(), static_cast<std::size_t>(std::max(jobs, 1))));
+  if (workers < 2) {
+    for (const auto& name : names) results.emplace(name, run_one(name));
+    return results;
+  }
+  // Each scheduler run is an independent cell (own Engine, Fabric, source,
+  // scheduler instance); results land by index and are inserted in name
+  // order afterwards, so the map is bitwise independent of `jobs`.
+  std::vector<SimResult> by_index(names.size());
+  parallel::ThreadPool pool(workers);
+  pool.parallel_for_shards(static_cast<int>(names.size()), [&](int i) {
+    by_index[static_cast<std::size_t>(i)] =
+        run_one(names[static_cast<std::size_t>(i)]);
+  });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    results.emplace(names[i], std::move(by_index[i]));
   }
   return results;
 }

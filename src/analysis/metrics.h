@@ -36,19 +36,23 @@ struct SpeedupSummary {
                                                const SimResult& baseline);
 
 /// Runs every named scheduler on `trace` with the same config; returns
-/// results keyed by scheduler name.
+/// results keyed by scheduler name. `jobs` > 1 runs the schedulers
+/// concurrently (each on its own Engine + source); the result map is
+/// bitwise independent of `jobs`.
 [[nodiscard]] std::map<std::string, SimResult> run_schedulers(
     const trace::Trace& trace, const std::vector<std::string>& names,
-    const SimConfig& config = {}, double deadline_factor = 2.0);
+    const SimConfig& config = {}, double deadline_factor = 2.0, int jobs = 1);
 
 /// Streaming variant: `make_source` builds a fresh WorkloadSource per
 /// scheduler (sources are consumed by a run). This is how sweeps avoid
 /// materializing per-point trace copies — e.g. ScaleArrivals over one
-/// shared trace instead of Trace::scaled_arrivals clones.
+/// shared trace instead of Trace::scaled_arrivals clones. With `jobs` > 1
+/// `make_source` must be safe to call concurrently (every built-in source
+/// factory is: fresh state per call).
 [[nodiscard]] std::map<std::string, SimResult> run_schedulers(
     const std::function<std::shared_ptr<workload::WorkloadSource>()>&
         make_source,
     const std::vector<std::string>& names, const SimConfig& config = {},
-    double deadline_factor = 2.0);
+    double deadline_factor = 2.0, int jobs = 1);
 
 }  // namespace saath

@@ -1,0 +1,49 @@
+#include "fabric/partition.h"
+
+#include "common/expect.h"
+
+namespace saath {
+
+namespace {
+
+/// Fibonacci multiplicative hash of the port index — deterministic and
+/// platform-independent (no std::hash).
+[[nodiscard]] std::uint32_t mix_port(PortIndex p) {
+  const auto x = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p));
+  return static_cast<std::uint32_t>((x * 0x9E3779B97F4A7C15ull) >> 33);
+}
+
+}  // namespace
+
+PortPartition::PortPartition(int num_ports, int shards, PartitionKind kind)
+    : num_ports_(num_ports), shards_(shards), kind_(kind) {
+  SAATH_EXPECTS(num_ports > 0);
+  SAATH_EXPECTS(shards > 0);
+  shard_of_.resize(static_cast<std::size_t>(num_ports));
+  for (PortIndex p = 0; p < num_ports; ++p) {
+    int s;
+    if (kind == PartitionKind::kContiguous) {
+      // Balanced blocks: shard s owns [s*P/N, (s+1)*P/N) — sizes differ by
+      // at most one, every port lands in exactly one block.
+      s = static_cast<int>((static_cast<std::int64_t>(p) * shards) /
+                           num_ports);
+    } else {
+      s = static_cast<int>(mix_port(p) % static_cast<std::uint32_t>(shards));
+    }
+    shard_of_[static_cast<std::size_t>(p)] = s;
+  }
+  // CSR grouping, ascending ports within each shard (one counting pass).
+  begin_.assign(static_cast<std::size_t>(shards) + 1, 0);
+  for (const std::int32_t s : shard_of_) {
+    ++begin_[static_cast<std::size_t>(s) + 1];
+  }
+  for (std::size_t s = 1; s < begin_.size(); ++s) begin_[s] += begin_[s - 1];
+  ports_.resize(static_cast<std::size_t>(num_ports));
+  std::vector<std::uint32_t> cursor(begin_.begin(), begin_.end() - 1);
+  for (PortIndex p = 0; p < num_ports; ++p) {
+    ports_[cursor[static_cast<std::size_t>(
+        shard_of_[static_cast<std::size_t>(p)])]++] = p;
+  }
+}
+
+}  // namespace saath

@@ -1,0 +1,59 @@
+// Port partitioning for the sharded epoch phases.
+//
+// A PortPartition assigns every port index of a fabric to exactly one
+// shard. It is a pure function of (num_ports, shards, kind) — it holds no
+// fabric state, so the mapping is trivially stable across Fabric::reset()
+// and capacity changes; the sharded backfill relies on that: a live-port
+// set filtered by shard_of() covers each live port exactly once no matter
+// how budgets moved.
+//
+// Two kinds: kContiguous keeps each shard a dense port range (cache- and
+// NUMA-friendly when workloads place neighboring ports together), kHash
+// spreads ports by a multiplicative hash (guards against workloads whose
+// hot ports cluster in one range). Both are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace saath {
+
+enum class PartitionKind : std::uint8_t { kContiguous, kHash };
+
+class PortPartition {
+ public:
+  PortPartition() = default;
+  PortPartition(int num_ports, int shards,
+                PartitionKind kind = PartitionKind::kContiguous);
+
+  [[nodiscard]] int num_ports() const { return num_ports_; }
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] PartitionKind kind() const { return kind_; }
+
+  /// The one shard owning `p`. O(1).
+  [[nodiscard]] int shard_of(PortIndex p) const {
+    return shard_of_[static_cast<std::size_t>(p)];
+  }
+
+  /// Every port a shard owns, ascending. The spans of all shards are a
+  /// disjoint cover of [0, num_ports).
+  [[nodiscard]] std::span<const PortIndex> ports_of(int shard) const {
+    const auto s = static_cast<std::size_t>(shard);
+    return std::span<const PortIndex>(ports_).subspan(begin_[s],
+                                                      begin_[s + 1] - begin_[s]);
+  }
+
+ private:
+  int num_ports_ = 0;
+  int shards_ = 0;
+  PartitionKind kind_ = PartitionKind::kContiguous;
+  std::vector<std::int32_t> shard_of_;
+  /// CSR: ports grouped by shard (ascending within each group).
+  std::vector<PortIndex> ports_;
+  std::vector<std::uint32_t> begin_;
+};
+
+}  // namespace saath

@@ -28,7 +28,9 @@ void UcTcpScheduler::schedule(SimTime now, std::span<CoflowState* const> active,
     recv_caps[static_cast<std::size_t>(p)] = fabric.recv_capacity(p);
   }
 
-  const auto fair = maxmin_fair_rates(demands, send_caps, recv_caps);
+  // Pool-aware overload: component-parallel when set_parallelism installed
+  // a pool, serial otherwise — bitwise-identical rates either way.
+  const auto fair = maxmin_fair_rates(demands, send_caps, recv_caps, pool_);
   for (std::size_t i = 0; i < flows.size(); ++i) {
     // Progressive filling can land a hair above the port budget through
     // floating-point accumulation; shave it so Fabric's contract holds.

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "parallel/thread_pool.h"
 #include "sim/completion_heap.h"
 #include "sim/dynamics.h"
 #include "sim/rate_assignment.h"
@@ -84,6 +85,13 @@ struct SimConfig {
   /// horizon bound for unbounded sources (e.g. SynthSource with
   /// num_coflows < 0).
   SimTime max_sim_time = seconds(500'000);
+  /// Intra-epoch parallelism: > 1 makes the engine own a parallel::
+  /// ThreadPool and install it on the scheduler for the run (Saath's
+  /// sharded conservation gather, UC-TCP's component-parallel max-min).
+  /// 0 (default) and 1 keep every phase on the caller's thread — the
+  /// serial path is the bit-identity oracle, and results are byte-identical
+  /// for ANY value of this knob; it is purely a wall-clock lever.
+  int parallel_shards = 0;
 };
 
 /// Wall-clock phase costs and event counts of one run, for the
@@ -109,6 +117,18 @@ struct EngineStats {
   std::int64_t injected_moves = 0;
   /// Finished CoflowStates destroyed mid-run (record_results = false).
   std::int64_t reclaimed_coflows = 0;
+  /// Workload ingestion (admit_arrivals + process_dynamics) wall time —
+  /// with schedule_ns and advance_ns this completes the per-phase
+  /// breakdown of the run loop.
+  std::int64_t ingest_ns = 0;
+  /// Whole-run wall time of run(), the denominator for phase shares.
+  std::int64_t run_wall_ns = 0;
+  /// Per-shard-index busy time accumulated across every pooled phase of
+  /// the run (empty when SimConfig::parallel_shards <= 1).
+  std::vector<std::int64_t> shard_busy_ns;
+  /// max/mean over shard_busy_ns — 1.0 is a perfectly balanced partition;
+  /// 0 when the run was serial.
+  double shard_imbalance = 0;
 };
 
 class Engine {
@@ -221,6 +241,11 @@ class Engine {
   Scheduler& scheduler_;
   SimConfig config_;
   Fabric fabric_;
+  /// Owned worker pool for pooled phases (created at run() start when
+  /// config_.parallel_shards > 1, installed on the scheduler for the run
+  /// and detached before run() returns so a reused scheduler never holds a
+  /// dangling pool).
+  std::unique_ptr<parallel::ThreadPool> pool_;
   /// The one gateway for rate changes: records touched flows for the
   /// completion heap and keeps the per-port allocation accumulators.
   RateAssignment rates_;

@@ -25,6 +25,10 @@
 
 namespace saath {
 
+namespace parallel {
+class ThreadPool;
+}
+
 /// Dirty-set the engine accumulates between scheduling epochs and hands to
 /// delta-aware schedulers: exactly which CoFlows' simulation state changed
 /// since the last schedule() call, so incremental schedulers re-key only
@@ -117,6 +121,20 @@ class Scheduler {
     return now;
   }
 
+  /// Installs a worker pool for intra-epoch parallel phases (the engine
+  /// calls this at run start from SimConfig::parallel_shards; direct
+  /// drivers may call it themselves). `shards` > 0 with a non-null pool
+  /// lets schedulers that support sharded phases (Saath's conservation
+  /// gather, UC-TCP's component-parallel max-min) fan work out; (nullptr,
+  /// 0) restores the fully serial path. The contract is strict: results
+  /// must be byte-identical with and without a pool — the serial path is
+  /// the bit-identity oracle. The pool is borrowed, not owned, and must
+  /// outlive every schedule() call made under it.
+  virtual void set_parallelism(parallel::ThreadPool* pool, int shards) {
+    pool_ = pool;
+    parallel_shards_ = pool == nullptr ? 0 : shards;
+  }
+
   /// Lifecycle notifications (optional overrides).
   virtual void on_coflow_arrival(CoflowState& coflow, SimTime now) {
     (void)coflow;
@@ -132,6 +150,11 @@ class Scheduler {
     (void)coflow;
     (void)now;
   }
+
+ protected:
+  /// Borrowed worker pool (see set_parallelism); nullptr = serial.
+  parallel::ThreadPool* pool_ = nullptr;
+  int parallel_shards_ = 0;
 };
 
 }  // namespace saath

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/expect.h"
+#include "parallel/thread_pool.h"
 #include "sched/factory.h"
 #include "trace/synth.h"
 #include "workload/combinators.h"
@@ -278,6 +279,10 @@ ScenarioRunResult run_scenario(std::string_view name,
   SimConfig cfg = setup.config;
   apply_scheduler_sim_overrides(sched_name, cfg);
   if (params.get_int("records", 1) == 0) cfg.record_results = false;
+  // Intra-epoch parallelism knob (SimConfig::parallel_shards): purely a
+  // wall-clock lever, results are byte-identical for any value.
+  cfg.parallel_shards = static_cast<int>(
+      params.get_int("shards", cfg.parallel_shards));
   Engine engine(setup.source, *sched, cfg);
   if (sink) engine.set_result_sink(sink);
   ScenarioRunResult out;
@@ -285,6 +290,30 @@ ScenarioRunResult run_scenario(std::string_view name,
   out.stats = engine.stats();
   out.rounds = engine.scheduling_rounds();
   out.now = engine.now();
+  return out;
+}
+
+std::vector<CampaignOutcome> run_campaign(std::span<const CampaignCell> cells,
+                                          int jobs) {
+  std::vector<CampaignOutcome> out(cells.size());
+  if (cells.empty()) return out;
+  const auto run_cell = [&](std::size_t i) {
+    const CampaignCell& cell = cells[i];
+    out[i].run =
+        run_scenario(cell.scenario, cell.params, cell.scheduler, &out[i].agg);
+  };
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      cells.size(), static_cast<std::size_t>(std::max(jobs, 1))));
+  if (workers < 2) {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+    return out;
+  }
+  // Outcomes land by cell index, so the report order (and every byte of
+  // it) is independent of which worker ran which cell when.
+  parallel::ThreadPool pool(workers);
+  pool.parallel_for_shards(
+      static_cast<int>(cells.size()),
+      [&](int i) { run_cell(static_cast<std::size_t>(i)); });
   return out;
 }
 

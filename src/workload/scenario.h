@@ -12,11 +12,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sim/engine.h"
+#include "workload/sink.h"
 #include "workload/source.h"
 
 namespace saath::workload {
@@ -90,5 +92,31 @@ struct ScenarioRunResult {
                                              const ScenarioParams& params = {},
                                              std::string_view scheduler = {},
                                              ResultSink* sink = nullptr);
+
+/// One independent cell of a scenario campaign: a (scenario, params,
+/// scheduler) triple run under its own Engine, Fabric, scheduler instance,
+/// and RNG streams.
+struct CampaignCell {
+  std::string scenario;
+  ScenarioParams params;
+  /// Empty = the scenario's default scheduler.
+  std::string scheduler;
+};
+
+/// A finished cell: the run outcome plus the cell's private online CCT
+/// aggregation (each cell runs with its own CctAggregator sink, so
+/// record-free runs still report CCT statistics).
+struct CampaignOutcome {
+  ScenarioRunResult run;
+  CctAggregator agg;
+};
+
+/// Runs every cell and returns outcomes in cell order. `jobs` > 1 executes
+/// cells concurrently on a parallel::ThreadPool (at most one worker per
+/// cell). Cells share no mutable state — the registry lookup is
+/// mutex-guarded and the few process-global counters are atomics that
+/// never feed results — so the outcomes are bitwise independent of `jobs`.
+[[nodiscard]] std::vector<CampaignOutcome> run_campaign(
+    std::span<const CampaignCell> cells, int jobs = 1);
 
 }  // namespace saath::workload
