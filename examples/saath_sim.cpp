@@ -9,18 +9,42 @@
 //   $ ./saath_sim --scenario=steady-churn --set coflows=100000 --stream
 //   $ ./saath_sim --scenario=steady-churn --repeat=8 --seed-stride=7 --jobs=4
 //
-// --set key=value overrides scenario knobs (unknown keys are ignored);
-// --stream drops per-CoFlow record materialization and aggregates CCTs
-// online through a CctAggregator sink (the O(live)-memory path).
-// --repeat=K runs K seed-shifted repetitions (seed = base + rep *
-// --seed-stride), and --jobs=N runs the resulting cells concurrently —
-// each on its own Engine/Fabric/RNG, so output is identical for any N.
+//   # Capture/replay + crash recovery (all digest-gated in CI):
+//   $ ./saath_sim --scenario=steady-churn --record=run.journal --digest
+//   $ ./saath_sim --replay=run.journal --digest
+//   $ ./saath_sim --scenario=steady-churn --record=run.journal \
+//       --checkpoint=run.ckpt --checkpoint-at=40 --digest
+//   $ ./saath_sim --replay=run.journal --resume=run.ckpt --digest
+//   $ ./saath_sim --scenario=steady-churn --inject --digest
+//
+// --set key=value overrides scenario knobs; unknown keys and malformed
+// values exit non-zero naming the offender. --stream drops per-CoFlow
+// record materialization and aggregates CCTs online through a CctAggregator
+// sink (the O(live)-memory path). --repeat=K runs K seed-shifted
+// repetitions (seed = base + rep * --seed-stride), and --jobs=N runs the
+// resulting cells concurrently — each on its own Engine/Fabric/RNG, so
+// output is identical for any N.
+//
+// The replay flags switch to a direct single-run path (no --repeat/--jobs):
+// --record journals the consumed event stream; --replay re-feeds a journal
+// (config comes from the journal, scheduler from --scheduler); --resume
+// restores an engine checkpoint and replays the journal suffix; --inject
+// wraps the source in a FaultySource (implies tolerant input); --digest
+// prints the canonical result digest CI compares across runs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "replay/checkpoint.h"
+#include "replay/fault.h"
+#include "replay/journal.h"
+#include "sched/factory.h"
+#include "sim/engine.h"
 #include "workload/scenario.h"
 #include "workload/sink.h"
 
@@ -39,9 +63,188 @@ int list_scenarios(bool names_only) {
   return 0;
 }
 
+struct DirectOptions {
+  std::string scenario;
+  std::string scheduler;
+  workload::ScenarioParams params;
+  std::string record_path;
+  std::string replay_path;
+  std::string resume_path;
+  std::string checkpoint_path;
+  long long checkpoint_every = 0;
+  long long checkpoint_at = 0;
+  bool inject = false;
+  replay::FaultPlan plan;
+  bool digest = false;
+
+  [[nodiscard]] bool active() const {
+    return !record_path.empty() || !replay_path.empty() ||
+           !resume_path.empty() || !checkpoint_path.empty() || inject ||
+           digest;
+  }
+};
+
+void report_run(const char* label, const SimResult& result,
+                const EngineStats& stats, int rounds,
+                const workload::CctAggregator& agg) {
+  std::printf("%s scheduler '%s' source '%s'\n", label,
+              result.scheduler.c_str(), result.trace.c_str());
+  std::printf(
+      "  coflows %lld  makespan %.3fs  mean CCT %.3fs  ~P50 %.3fs  ~P90 "
+      "%.3fs\n",
+      static_cast<long long>(agg.count()), to_seconds(agg.makespan()),
+      agg.mean_cct_seconds(), agg.percentile_cct_seconds(50),
+      agg.percentile_cct_seconds(90));
+  std::printf(
+      "  epochs %lld  rounds %d  peak live %lld  source events %lld  "
+      "injected moves %lld\n",
+      static_cast<long long>(stats.epochs), rounds,
+      static_cast<long long>(stats.peak_live_coflows),
+      static_cast<long long>(stats.source_events),
+      static_cast<long long>(stats.injected_moves));
+  if (stats.rejected_events > 0 || stats.quarantine_events > 0 ||
+      !stats.abandoned_coflow_ids.empty()) {
+    std::printf(
+        "  rejected events %lld  quarantines %lld  requeues %lld  abandoned "
+        "%zu\n",
+        static_cast<long long>(stats.rejected_events),
+        static_cast<long long>(stats.quarantine_events),
+        static_cast<long long>(stats.requeue_admissions),
+        stats.abandoned_coflow_ids.size());
+  }
+}
+
+/// The single-run path behind the replay/robustness flags. Unlike the
+/// campaign path it owns the source/engine wiring so it can interpose the
+/// fault and recording layers: inner scenario source -> FaultySource
+/// (--inject) -> RecordingSource (--record, outermost: it journals exactly
+/// what the engine consumed, faults included).
+int run_direct(const DirectOptions& opt) {
+  std::ifstream journal_in;
+  std::ofstream journal_out;
+  std::shared_ptr<workload::WorkloadSource> source;
+  SimConfig cfg;
+  std::string sched_name = opt.scheduler;
+  EngineSnapshot snap;
+  const bool resuming = !opt.resume_path.empty();
+
+  if (!opt.replay_path.empty()) {
+    journal_in.open(opt.replay_path);
+    if (!journal_in) {
+      std::fprintf(stderr, "cannot open journal '%s'\n",
+                   opt.replay_path.c_str());
+      return 2;
+    }
+    auto rs = std::make_shared<replay::ReplaySource>(journal_in);
+    cfg = rs->recorded_config();
+    if (resuming) {
+      std::ifstream ckpt(opt.resume_path);
+      if (!ckpt) {
+        std::fprintf(stderr, "cannot open checkpoint '%s'\n",
+                     opt.resume_path.c_str());
+        return 2;
+      }
+      snap = replay::load_checkpoint(ckpt);
+      // The journal prefix up to the snapshot instant was already consumed
+      // by the interrupted run; position past it before the engine peeks.
+      rs->skip(snap.source_events_consumed);
+      if (sched_name.empty()) sched_name = snap.scheduler;
+    }
+    source = rs;
+  } else {
+    workload::ScenarioSetup setup =
+        workload::make_scenario(opt.scenario, opt.params);
+    if (sched_name.empty()) sched_name = setup.default_scheduler;
+    cfg = setup.config;
+    apply_scheduler_sim_overrides(sched_name, cfg);
+    if (opt.params.get_int("records", 1) == 0) cfg.record_results = false;
+    cfg.parallel_shards =
+        static_cast<int>(opt.params.get_int("shards", cfg.parallel_shards));
+    cfg.max_stall_epochs = static_cast<int>(
+        opt.params.get_int("stall_epochs", cfg.max_stall_epochs));
+    cfg.max_requeue_attempts = static_cast<int>(
+        opt.params.get_int("requeue", cfg.max_requeue_attempts));
+    if (opt.params.get_int("strict_input", 1) == 0) cfg.strict_input = false;
+    const std::int64_t seed = opt.params.get_int("seed", 0);
+    if (const auto unknown = opt.params.unconsumed(); !unknown.empty()) {
+      std::string listed;
+      for (const auto& key : unknown) {
+        if (!listed.empty()) listed += ", ";
+        listed += key;
+      }
+      std::fprintf(stderr,
+                   "scenario '%s' does not understand parameter(s): %s\n",
+                   opt.scenario.c_str(), listed.c_str());
+      return 2;
+    }
+    source = setup.source;
+    if (opt.inject) {
+      // Malformed/duplicate events must degrade into typed faults, not
+      // SAATH_EXPECTS aborts.
+      cfg.strict_input = false;
+      source = std::make_shared<replay::FaultySource>(source, opt.plan);
+    }
+    if (!opt.record_path.empty()) {
+      journal_out.open(opt.record_path, std::ios::trunc);
+      if (!journal_out) {
+        std::fprintf(stderr, "cannot open journal '%s' for writing\n",
+                     opt.record_path.c_str());
+        return 2;
+      }
+      source = std::make_shared<replay::RecordingSource>(source, journal_out,
+                                                         cfg, seed);
+    }
+  }
+  if (sched_name.empty()) sched_name = "saath";
+
+  auto sched = make_scheduler(sched_name);
+  Engine engine(source, *sched, cfg);
+  workload::CctAggregator agg;
+  engine.set_result_sink(&agg);
+
+  if (!opt.checkpoint_path.empty()) {
+    const std::string path = opt.checkpoint_path;
+    const long long every =
+        opt.checkpoint_at > 0 ? opt.checkpoint_at : opt.checkpoint_every;
+    const bool once = opt.checkpoint_at > 0;
+    auto written = std::make_shared<bool>(false);
+    engine.set_snapshot_hook(
+        every, [path, once, written](const EngineSnapshot& s) {
+          if (once && *written) return;
+          std::ofstream out(path, std::ios::trunc);
+          if (!out) {
+            std::fprintf(stderr, "cannot write checkpoint '%s'\n",
+                         path.c_str());
+            return;
+          }
+          replay::save_checkpoint(out, s);
+          *written = true;
+        });
+  }
+  if (resuming) {
+    engine.restore_snapshot(snap);
+    std::printf("resumed at epoch %lld (%lld events already consumed)\n",
+                static_cast<long long>(snap.epochs),
+                static_cast<long long>(snap.source_events_consumed));
+  }
+
+  const SimResult result = engine.run();
+  report_run(opt.replay_path.empty() ? "run" : "replay", result,
+             engine.stats(), engine.scheduling_rounds(), agg);
+  if (opt.digest) {
+    std::printf("digest %s\n", replay::result_digest_hex(result).c_str());
+  }
+  if (agg.count() == 0) {
+    std::fprintf(stderr, "scenario produced no coflows\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  DirectOptions direct;
   std::string scenario;
   std::string scheduler;
   bool stream = false;
@@ -60,6 +263,44 @@ int main(int argc, char** argv) {
     if (arg == "--list-names") return list_scenarios(true);
     if (arg == "--stream") {
       stream = true;
+    } else if (arg == "--digest") {
+      direct.digest = true;
+    } else if (arg == "--inject") {
+      // A moderate default fault mix; the --inject-* knobs refine it.
+      direct.inject = true;
+      if (direct.plan.duplicate_p == 0) direct.plan.duplicate_p = 0.05;
+      if (direct.plan.malformed_p == 0) direct.plan.malformed_p = 0.05;
+      if (direct.plan.storm_every == 0) {
+        direct.plan.storm_every = 50;
+        direct.plan.storm_size = 8;
+      }
+    } else if (auto v = value_of("--inject-dup"); !v.empty()) {
+      direct.inject = true;
+      direct.plan.duplicate_p = std::atof(v.c_str());
+    } else if (auto v = value_of("--inject-malformed"); !v.empty()) {
+      direct.inject = true;
+      direct.plan.malformed_p = std::atof(v.c_str());
+    } else if (auto v = value_of("--inject-storm"); !v.empty()) {
+      direct.inject = true;
+      direct.plan.storm_every = std::atoi(v.c_str());
+      if (direct.plan.storm_size == 0) direct.plan.storm_size = 8;
+    } else if (auto v = value_of("--inject-flaps"); !v.empty()) {
+      direct.inject = true;
+      direct.plan.flap_cycles = std::atoi(v.c_str());
+    } else if (auto v = value_of("--inject-seed"); !v.empty()) {
+      direct.plan.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+    } else if (auto v = value_of("--record"); !v.empty()) {
+      direct.record_path = v;
+    } else if (auto v = value_of("--replay"); !v.empty()) {
+      direct.replay_path = v;
+    } else if (auto v = value_of("--resume"); !v.empty()) {
+      direct.resume_path = v;
+    } else if (auto v = value_of("--checkpoint"); !v.empty()) {
+      direct.checkpoint_path = v;
+    } else if (auto v = value_of("--checkpoint-every"); !v.empty()) {
+      direct.checkpoint_every = std::atoll(v.c_str());
+    } else if (auto v = value_of("--checkpoint-at"); !v.empty()) {
+      direct.checkpoint_at = std::atoll(v.c_str());
     } else if (auto v = value_of("--scenario"); !v.empty()) {
       scenario = v;
     } else if (auto v = value_of("--scheduler"); !v.empty()) {
@@ -82,10 +323,51 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: saath_sim --scenario=<name> [--scheduler=<name>] "
                    "[--set key=value]... [--stream] [--jobs=N] [--repeat=K] "
-                   "[--seed-stride=S] | --list | --list-names\n");
+                   "[--seed-stride=S]\n"
+                   "       [--record=FILE] [--replay=FILE] [--resume=CKPT] "
+                   "[--checkpoint=FILE --checkpoint-every=N|--checkpoint-at=E]"
+                   "\n"
+                   "       [--inject] [--inject-dup=P] [--inject-malformed=P] "
+                   "[--inject-storm=N] [--inject-flaps=N] [--inject-seed=S] "
+                   "[--digest]\n"
+                   "       | --list | --list-names\n");
       return 2;
     }
   }
+
+  if (direct.active()) {
+    if (direct.replay_path.empty() && scenario.empty()) {
+      std::fprintf(stderr, "replay flags need --scenario or --replay\n");
+      return 2;
+    }
+    if (!direct.resume_path.empty() && direct.replay_path.empty()) {
+      std::fprintf(stderr, "--resume needs the run's --replay journal\n");
+      return 2;
+    }
+    if (!direct.checkpoint_path.empty() && direct.checkpoint_every <= 0 &&
+        direct.checkpoint_at <= 0) {
+      std::fprintf(stderr,
+                   "--checkpoint needs --checkpoint-every=N or "
+                   "--checkpoint-at=E\n");
+      return 2;
+    }
+    if (stream || jobs != 1 || repeat != 1) {
+      std::fprintf(stderr,
+                   "replay flags run a single cell; drop --stream/--jobs/"
+                   "--repeat\n");
+      return 2;
+    }
+    direct.scenario = scenario;
+    direct.scheduler = scheduler;
+    direct.params = params;
+    try {
+      return run_direct(direct);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
   if (scenario.empty()) {
     std::fprintf(stderr, "missing --scenario=<name>; --list shows them\n");
     return 2;

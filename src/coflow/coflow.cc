@@ -285,6 +285,26 @@ double CoflowState::bottleneck_seconds(Rate port_bandwidth, SimTime now) const {
   return worst / port_bandwidth;
 }
 
+void CoflowState::restore_flow_progress(std::size_t i, double sent_base,
+                                        Rate rate, SimTime anchor,
+                                        SimTime predicted_finish) {
+  SAATH_EXPECTS(i < flows_.size());
+  FlowState& f = flows_[i];
+  SAATH_EXPECTS(!f.finished());
+  SAATH_EXPECTS(rate >= 0);
+  const Rate before = f.rate_;
+  f.sent_base_ = sent_base;
+  f.rate_ = rate;
+  f.anchor_ = anchor;
+  f.predicted_finish_ = predicted_finish;
+  f.note_mutation(before, rate);
+}
+
+void CoflowState::restore_flow_finished(std::size_t i, SimTime finish_time) {
+  SAATH_EXPECTS(i < flows_.size());
+  on_flow_complete(flows_[i], finish_time);
+}
+
 int CoflowState::restart_flows_on_port(PortIndex port, SimTime now) {
   int restarted = 0;
   for (auto& f : flows_) {

@@ -73,6 +73,13 @@ class FlowState {
 
   [[nodiscard]] Rate rate() const { return rate_; }
 
+  /// Checkpoint capture: the raw trajectory fields (bytes folded at the
+  /// last rate change and its instant). Together with rate() and
+  /// predicted_finish() these are the exact bits a resumed run restores
+  /// via CoflowState::restore_flow_progress.
+  [[nodiscard]] double sent_base() const { return sent_base_; }
+  [[nodiscard]] SimTime anchor() const { return anchor_; }
+
   /// Changes the rate at `now`: folds progress accrued at the old rate into
   /// the base, re-anchors, bumps the rate version (invalidating any queued
   /// completion events), and recomputes predicted_finish(). During an engine
@@ -265,12 +272,35 @@ class CoflowState {
   /// Returns the number of flows restarted.
   int restart_flows_on_port(PortIndex port, SimTime now);
 
+  /// Number of flows currently assigned a nonzero rate — O(1) off the
+  /// aggregate-cache counter. Zero across a whole scheduling round while
+  /// data_available is what the engine's stall detector keys on.
+  [[nodiscard]] int rated_flows() const { return rated_flows_; }
+
+  /// Checkpoint restore (engine use only, on a freshly constructed state
+  /// before any scheduling): overwrites flow `i`'s trajectory with
+  /// previously captured bits — no fold, no re-rounding of the predicted
+  /// finish, so a resumed run replays the exact µs instants the
+  /// interrupted run would have produced.
+  void restore_flow_progress(std::size_t i, double sent_base, Rate rate,
+                             SimTime anchor, SimTime predicted_finish);
+  /// Checkpoint restore of an already-finished flow: routes through the
+  /// normal completion bookkeeping (port loads, finished lengths,
+  /// occupancy version) at the recorded finish instant.
+  void restore_flow_finished(std::size_t i, SimTime finish_time);
+
   /// Scheduler-owned annotations ------------------------------------------
   int queue_index = 0;
   SimTime queue_entered_at = 0;
   SimTime deadline = kNever;
   /// Set when a failure/straggler/restart touched this CoFlow (§4.3).
   bool dynamics_flagged = false;
+  /// Graceful-degradation bookkeeping (engine-owned): consecutive
+  /// scheduling rounds this CoFlow sat schedulable (data available) yet
+  /// fully unrated, and completed quarantine re-admissions. See
+  /// SimConfig::max_stall_epochs.
+  int stall_rounds = 0;
+  int requeue_attempts = 0;
   /// Data-availability gate (§4.3 pipelining): flows before this count are
   /// ready; engine-level injectors may hold data back.
   bool data_available = true;

@@ -37,6 +37,13 @@ class Fabric {
   [[nodiscard]] Rate send_capacity(PortIndex p) const;
   [[nodiscard]] Rate recv_capacity(PortIndex p) const;
 
+  /// Current derating factor of a port (1.0 = nominal, 0.0 = down). The
+  /// checkpoint layer persists the non-nominal entries so a resumed run
+  /// rebuilds the same effective capacities.
+  [[nodiscard]] double port_capacity_factor(PortIndex p) const {
+    return capacity_factor_[static_cast<std::size_t>(p)];
+  }
+
   [[nodiscard]] Rate send_remaining(PortIndex p) const;
   [[nodiscard]] Rate recv_remaining(PortIndex p) const;
 

@@ -1,0 +1,139 @@
+#include "replay/fault.h"
+
+#include <utility>
+
+#include "common/expect.h"
+
+namespace saath::replay {
+
+FaultySource::FaultySource(std::shared_ptr<workload::WorkloadSource> inner,
+                           FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {
+  SAATH_EXPECTS(inner_ != nullptr);
+  SAATH_EXPECTS(plan_.duplicate_p >= 0 && plan_.duplicate_p <= 1);
+  SAATH_EXPECTS(plan_.malformed_p >= 0 && plan_.malformed_p <= 1);
+  // Precompute the port-flap schedule: cycle i takes port (i mod P) down at
+  // (i+1) * flap_period and heals it flap_down later. kNodeFailure models
+  // the task restarts; the straggler pair carries the capacity derate.
+  const int ports = inner_->num_ports();
+  for (int i = 0; i < plan_.flap_cycles && ports > 0; ++i) {
+    const auto port = static_cast<PortIndex>(i % ports);
+    const SimTime down_at = plan_.flap_period * (i + 1);
+    DynamicsEvent fail;
+    fail.time = down_at;
+    fail.kind = DynamicsEvent::Kind::kNodeFailure;
+    fail.port = port;
+    push(workload::WorkloadEvent::dynamics_at(fail));
+    DynamicsEvent derate = fail;
+    derate.kind = DynamicsEvent::Kind::kStragglerStart;
+    derate.capacity_factor = 0.0;
+    push(workload::WorkloadEvent::dynamics_at(derate));
+    DynamicsEvent heal;
+    heal.time = down_at + plan_.flap_down;
+    heal.kind = DynamicsEvent::Kind::kStragglerEnd;
+    heal.port = port;
+    heal.capacity_factor = 1.0;
+    push(workload::WorkloadEvent::dynamics_at(heal));
+  }
+}
+
+std::uint64_t FaultySource::next_u64() {
+  // splitmix64
+  rng_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double FaultySource::next_unit() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void FaultySource::push(workload::WorkloadEvent ev) {
+  pending_.push({std::move(ev), seq_++});
+}
+
+void FaultySource::perturb(const workload::WorkloadEvent& ev) {
+  if (ev.kind != workload::WorkloadEvent::Kind::kArrival) return;
+  ++arrivals_seen_;
+  if (plan_.duplicate_p > 0 && next_unit() < plan_.duplicate_p) {
+    workload::WorkloadEvent dup = ev;
+    ++dups_;
+    if (dups_ % 7 == 0) {
+      // Late retry: the duplicate surfaces a while after the original (a
+      // different tick), exercising the admitted-id path rather than the
+      // same-tick tie handling.
+      dup.time += plan_.late_delay;
+      dup.coflow.arrival = dup.time;
+    }
+    push(std::move(dup));
+  }
+  if (plan_.malformed_p > 0 && next_unit() < plan_.malformed_p) {
+    workload::WorkloadEvent bad = ev;
+    bad.coflow.id = CoflowId{next_fake_id_++};
+    ++malformed_;
+    switch (malformed_ % 4) {
+      case 0:
+        bad.coflow.flows.clear();  // empty flow set
+        break;
+      case 1:
+        bad.coflow.flows.front().size = -1;  // negative size
+        break;
+      case 2:
+        bad.coflow.flows.front().dst =
+            static_cast<PortIndex>(inner_->num_ports());  // off the fabric
+        break;
+      case 3:
+        bad.coflow.arrival = bad.time + 1;  // arrival != event time
+        break;
+    }
+    push(std::move(bad));
+  }
+  if (plan_.storm_every > 0 && plan_.storm_size > 0 &&
+      arrivals_seen_ % plan_.storm_every == 0) {
+    // A burst of small valid CoFlows at this very tick — real extra work
+    // the engine must absorb without missing a beat.
+    for (int i = 0; i < plan_.storm_size; ++i) {
+      workload::WorkloadEvent extra;
+      extra.kind = workload::WorkloadEvent::Kind::kArrival;
+      extra.time = ev.time;
+      extra.coflow.id = CoflowId{next_fake_id_++};
+      extra.coflow.arrival = ev.time;
+      FlowSpec f;
+      const auto ports = static_cast<std::uint64_t>(inner_->num_ports());
+      f.src = static_cast<PortIndex>(next_u64() % ports);
+      f.dst = static_cast<PortIndex>(next_u64() % ports);
+      f.size = plan_.storm_flow_bytes;
+      extra.coflow.flows.push_back(f);
+      ++storm_;
+      push(std::move(extra));
+    }
+  }
+}
+
+SimTime FaultySource::peek_next_time() {
+  const SimTime inner = inner_->peek_next_time();
+  if (pending_.empty()) return inner;
+  const SimTime injected = pending_.top().ev.time;
+  if (inner == kNever) return injected;
+  return inner < injected ? inner : injected;
+}
+
+workload::WorkloadEvent FaultySource::next() {
+  const SimTime inner_peek = inner_->peek_next_time();
+  // Inner events win ties so the original of a same-tick duplicate is
+  // always delivered (and admitted) before its fault copy.
+  if (inner_peek != kNever &&
+      (pending_.empty() || inner_peek <= pending_.top().ev.time)) {
+    workload::WorkloadEvent ev = inner_->next();
+    perturb(ev);
+    return ev;
+  }
+  SAATH_EXPECTS(!pending_.empty());
+  workload::WorkloadEvent ev = pending_.top().ev;
+  pending_.pop();
+  return ev;
+}
+
+}  // namespace saath::replay

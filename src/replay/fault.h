@@ -1,0 +1,121 @@
+// Deterministic fault injection for robustness testing.
+//
+// A FaultySource wraps any workload source and perturbs its event stream
+// with the failure modes a production coordinator sees from untrusted or
+// misbehaving clients and a flaky fabric:
+//
+//   * event storms  — bursts of extra (valid) arrivals at one instant;
+//   * duplicates    — re-emission of an already-admitted CoflowId, both at
+//                     the same tick and late (a retry after a timeout);
+//   * malformed specs — empty flow sets, negative sizes, out-of-fabric
+//                     ports, arrival/timestamp mismatches (cycled);
+//   * port flaps    — kNodeFailure + full derate (capacity factor 0) on a
+//                     port, healed after an outage window — scheduled from
+//                     a precomputed cycle plan.
+//
+// Everything is a pure function of FaultPlan (seed included): the same plan
+// over the same inner source yields the same perturbed stream, so fault
+// runs are themselves record/replayable. The injected events respect the
+// WorkloadSource ordering contract the *engine* needs to keep running in
+// tolerant mode (non-decreasing times; inner events win ties so the
+// original of a duplicate is always admitted first) — the malformed
+// payloads are the fault, not the stream shape. Pair with
+// SimConfig::strict_input = false: the engine then degrades each bad event
+// into a typed InputFault record instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "workload/source.h"
+
+namespace saath::replay {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Probability an inner arrival is re-emitted with the same id at the
+  /// same tick (every 7th duplicate is instead delayed by `late_delay` —
+  /// the client-retry shape).
+  double duplicate_p = 0.0;
+  SimTime late_delay = msec(50);
+  /// Probability an inner arrival gets a malformed sibling arrival at the
+  /// same tick (defect kind cycles deterministically).
+  double malformed_p = 0.0;
+  /// Every `storm_every`-th inner arrival triggers `storm_size` extra valid
+  /// arrivals at the same tick (0 disables).
+  int storm_every = 0;
+  int storm_size = 0;
+  /// Width of the flows storm arrivals carry (src/dst drawn from the seed).
+  Bytes storm_flow_bytes = 1 << 20;
+  /// Port-flap schedule: `flap_cycles` outages of `flap_down` starting at
+  /// `flap_period`, one every `flap_period`, rotating over the fabric's
+  /// ports. Each outage = kNodeFailure + capacity factor 0; heal restores
+  /// factor 1 (0 cycles disables).
+  int flap_cycles = 0;
+  SimTime flap_period = seconds(5);
+  SimTime flap_down = seconds(1);
+
+  [[nodiscard]] bool any() const {
+    return duplicate_p > 0 || malformed_p > 0 ||
+           (storm_every > 0 && storm_size > 0) || flap_cycles > 0;
+  }
+};
+
+class FaultySource final : public workload::WorkloadSource {
+ public:
+  FaultySource(std::shared_ptr<workload::WorkloadSource> inner,
+               FaultPlan plan);
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "+faults";
+  }
+  [[nodiscard]] int num_ports() const override { return inner_->num_ports(); }
+  [[nodiscard]] SimTime peek_next_time() override;
+  [[nodiscard]] workload::WorkloadEvent next() override;
+  void on_coflow_complete(const CoflowRecord& rec, SimTime now) override {
+    inner_->on_coflow_complete(rec, now);
+  }
+
+  /// Injected-event counters (what the engine should be rejecting /
+  /// absorbing); tests compare these against EngineStats.
+  [[nodiscard]] std::int64_t injected_duplicates() const { return dups_; }
+  [[nodiscard]] std::int64_t injected_malformed() const { return malformed_; }
+  [[nodiscard]] std::int64_t injected_storm_arrivals() const { return storm_; }
+
+ private:
+  /// splitmix64 — tiny, deterministic, seedable.
+  std::uint64_t next_u64();
+  [[nodiscard]] double next_unit();
+  void push(workload::WorkloadEvent ev);
+  /// Fault fan-out for one inner arrival (duplicates / malformed siblings /
+  /// storms), pushed at >= its time.
+  void perturb(const workload::WorkloadEvent& ev);
+
+  struct Pending {
+    workload::WorkloadEvent ev;
+    std::int64_t seq = 0;  // FIFO among equal times
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.ev.time != b.ev.time) return a.ev.time > b.ev.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::shared_ptr<workload::WorkloadSource> inner_;
+  FaultPlan plan_;
+  std::uint64_t rng_;
+  std::priority_queue<Pending, std::vector<Pending>, Later> pending_;
+  std::int64_t seq_ = 0;
+  std::int64_t arrivals_seen_ = 0;
+  std::int64_t dups_ = 0;
+  std::int64_t malformed_ = 0;
+  std::int64_t storm_ = 0;
+  /// Fresh ids for injected arrivals, far above any trace id space.
+  std::int64_t next_fake_id_ = std::int64_t{1} << 40;
+};
+
+}  // namespace saath::replay

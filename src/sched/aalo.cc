@@ -132,6 +132,12 @@ void AaloScheduler::schedule_delta(SimTime now,
   }
 }
 
+void AaloScheduler::on_coflow_quarantined(CoflowState& coflow, SimTime now) {
+  (void)now;
+  order_.erase(coflow.id());
+  crossings_.erase(coflow.id());
+}
+
 SimTime AaloScheduler::schedule_valid_until(
     SimTime now, std::span<CoflowState* const> active) const {
   (void)active;

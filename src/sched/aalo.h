@@ -53,6 +53,12 @@ class AaloScheduler final : public Scheduler {
   [[nodiscard]] SimTime schedule_valid_until(
       SimTime now, std::span<CoflowState* const> active) const override;
 
+  /// The engine detaches a stuck CoFlow: drop it from the maintained order
+  /// and crossing structures (no-ops when unprimed) or the delta path's
+  /// order_.size() == active.size() postcondition would trip on the next
+  /// round. Re-admission re-inserts it via the membership sync.
+  void on_coflow_quarantined(CoflowState& coflow, SimTime now) override;
+
  private:
   void schedule_full(SimTime now, std::span<CoflowState* const> active,
                      Fabric& fabric, RateAssignment& rates, bool prime);

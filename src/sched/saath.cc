@@ -119,6 +119,13 @@ void SaathScheduler::on_coflow_complete(CoflowState& coflow, SimTime now) {
   spatial_.remove_coflow(coflow.id());
 }
 
+void SaathScheduler::on_coflow_quarantined(CoflowState& coflow, SimTime now) {
+  // A quarantined CoFlow leaves every maintained structure exactly as a
+  // completed one does — the erase path does not require finished() — and
+  // re-enters through on_coflow_arrival when the engine re-admits it.
+  on_coflow_complete(coflow, now);
+}
+
 void SaathScheduler::forget_coflow(CoflowId id) {
   order_.erase(id);
   crossings_.erase(id);

@@ -151,6 +151,10 @@ class SaathScheduler final : public Scheduler {
   void on_flow_complete(CoflowState& coflow, FlowState& flow,
                         SimTime now) override;
   void on_coflow_complete(CoflowState& coflow, SimTime now) override;
+  /// Quarantine detachment reuses the completion erase path (it never
+  /// requires finished()); re-admission arrives as a fresh
+  /// on_coflow_arrival.
+  void on_coflow_quarantined(CoflowState& coflow, SimTime now) override;
 
   /// Earliest time-only trigger that can reorder the schedule with no delta:
   /// a queue-threshold crossing at current rates or a starvation deadline

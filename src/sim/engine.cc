@@ -124,6 +124,25 @@ void Engine::inject_coflow(CoflowSpec spec) {
   injected_.push(std::move(spec));
 }
 
+void Engine::record_input_fault(InputFault::Kind kind, SimTime time,
+                                std::int64_t id, std::string detail) {
+  ++stats_.rejected_events;
+  if (stats_.input_faults.size() >= EngineStats::kMaxInputFaults) return;
+  stats_.input_faults.push_back({kind, time, id, std::move(detail)});
+}
+
+const char* Engine::check_spec(const CoflowSpec& spec) const {
+  if (spec.flows.empty()) return "coflow has no flows";
+  for (const auto& f : spec.flows) {
+    if (f.size < 0) return "negative flow size";
+    if (f.src < 0 || f.src >= fabric_.num_ports() || f.dst < 0 ||
+        f.dst >= fabric_.num_ports()) {
+      return "flow port outside the fabric";
+    }
+  }
+  return nullptr;
+}
+
 void Engine::pull_due_source_events() {
   SAATH_EXPECTS(staged_arrivals_.empty());
   for (;;) {
@@ -131,25 +150,79 @@ void Engine::pull_due_source_events() {
     if (peek == kNever || peek > now_) break;
     workload::WorkloadEvent ev = source_->next();
     ++stats_.source_events;
-    SAATH_EXPECTS_MSG(ev.time >= last_source_time_,
-                      "WorkloadSource ordering invariant violated: event "
-                      "times must be non-decreasing");
+    if (config_.strict_input) {
+      SAATH_EXPECTS_MSG(ev.time >= last_source_time_,
+                        "WorkloadSource ordering invariant violated: event "
+                        "times must be non-decreasing");
+    } else if (ev.time < last_source_time_) {
+      record_input_fault(InputFault::Kind::kOutOfOrder, ev.time,
+                         ev.kind == workload::WorkloadEvent::Kind::kArrival
+                             ? ev.coflow.id.value
+                             : -1,
+                         "event time went backwards");
+      continue;  // drop; the ordering fence keeps its last good position
+    }
     if (ev.time > last_source_time_) {
       last_arrival_id_ = std::numeric_limits<std::int64_t>::min();
     }
     last_source_time_ = ev.time;
     switch (ev.kind) {
       case workload::WorkloadEvent::Kind::kArrival:
-        SAATH_EXPECTS(ev.coflow.arrival == ev.time);
-        SAATH_EXPECTS(!ev.coflow.flows.empty());
-        SAATH_EXPECTS_MSG(ev.coflow.id.value > last_arrival_id_,
-                          "WorkloadSource ordering invariant violated: "
-                          "arrival ties must be emitted in ascending "
-                          "CoflowId order");
+        if (config_.strict_input) {
+          SAATH_EXPECTS(ev.coflow.arrival == ev.time);
+          SAATH_EXPECTS(!ev.coflow.flows.empty());
+          SAATH_EXPECTS_MSG(ev.coflow.id.value > last_arrival_id_,
+                            "WorkloadSource ordering invariant violated: "
+                            "arrival ties must be emitted in ascending "
+                            "CoflowId order");
+        } else {
+          if (ev.coflow.arrival != ev.time) {
+            record_input_fault(InputFault::Kind::kArrivalMismatch, ev.time,
+                               ev.coflow.id.value,
+                               "coflow.arrival != event time");
+            break;
+          }
+          if (const char* defect = check_spec(ev.coflow)) {
+            record_input_fault(InputFault::Kind::kMalformedSpec, ev.time,
+                               ev.coflow.id.value, defect);
+            break;
+          }
+          // Duplicate before tie-order: a same-tick re-emission of an
+          // admitted id violates both, and the duplicate is the root cause.
+          // Insertion only happens on full acceptance so a dropped event
+          // never poisons the id set.
+          if (admitted_ids_.count(ev.coflow.id.value) > 0) {
+            record_input_fault(InputFault::Kind::kDuplicateId, ev.time,
+                               ev.coflow.id.value,
+                               "CoflowId already admitted this run");
+            break;
+          }
+          if (ev.coflow.id.value <= last_arrival_id_) {
+            record_input_fault(InputFault::Kind::kTieOrder, ev.time,
+                               ev.coflow.id.value,
+                               "same-time arrivals out of CoflowId order");
+            break;
+          }
+          admitted_ids_.insert(ev.coflow.id.value);
+        }
         last_arrival_id_ = ev.coflow.id.value;
         staged_arrivals_.push_back({std::move(ev.coflow), ev.data_ready});
         break;
       case workload::WorkloadEvent::Kind::kDynamics:
+        if (!config_.strict_input) {
+          const DynamicsEvent& d = ev.dynamics;
+          if (d.port < 0 || d.port >= fabric_.num_ports()) {
+            record_input_fault(InputFault::Kind::kBadDynamics, ev.time, -1,
+                               "dynamics port outside the fabric");
+            break;
+          }
+          if (d.kind == DynamicsEvent::Kind::kStragglerStart &&
+              (d.capacity_factor < 0.0 || d.capacity_factor > 1.0)) {
+            record_input_fault(InputFault::Kind::kBadDynamics, ev.time, -1,
+                               "capacity factor outside [0, 1]");
+            break;
+          }
+        }
         source_dynamics_.push_back(ev.dynamics);
         break;
       case workload::WorkloadEvent::Kind::kDataAvailable: {
@@ -399,8 +472,11 @@ void Engine::verify_capacity() const {
     const Rate recv = rates_.recv_allocated(p);
     SAATH_EXPECTS(send >= -residue);
     SAATH_EXPECTS(recv >= -residue);
-    const Rate cap_s = fabric_.send_capacity(p) * (1.0 + 1e-6) + 1e-6;
-    const Rate cap_r = fabric_.recv_capacity(p) * (1.0 + 1e-6) + 1e-6;
+    // The overdraw bound tolerates the same accumulator residue: a port
+    // derated to zero capacity (node failure) legitimately reads a few
+    // epsilon of leftover += / -= noise, not an overdraw.
+    const Rate cap_s = fabric_.send_capacity(p) * (1.0 + 1e-6) + residue;
+    const Rate cap_r = fabric_.recv_capacity(p) * (1.0 + 1e-6) + residue;
     const bool over_send = send > cap_s;
     const bool over_recv = recv > cap_r;
     if (over_send || over_recv) {
@@ -445,6 +521,271 @@ void Engine::push_completion_events(CoflowState& coflow) {
       ++stats_.heap_pushes;
     }
   }
+}
+
+// -------------------------------------------------------------- quarantine
+
+void Engine::update_quarantine() {
+  if (config_.max_stall_epochs <= 0) return;
+  bool any_stalled = false;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    CoflowState* c = active_[r];
+    bool keep = true;
+    // Stalled = schedulable (data available, work remaining) yet the round
+    // that just ran rated none of its flows. rated_flows() is the O(1)
+    // aggregate counter, read after the §4.3 nullification — a gated CoFlow
+    // is also unrated, hence the data_available conjunct.
+    if (!c->finished() && c->data_available && c->rated_flows() == 0) {
+      ++c->stall_rounds;
+      if (c->stall_rounds >= config_.max_stall_epochs) {
+        ++stats_.quarantine_events;
+        scheduler_.on_coflow_quarantined(*c, now_);
+        const auto it = owned_coflows_.find(c);
+        SAATH_EXPECTS(it != owned_coflows_.end());
+        std::unique_ptr<CoflowState> owned = std::move(it->second);
+        owned_coflows_.erase(it);
+        c->stall_rounds = 0;
+        if (c->requeue_attempts >= config_.max_requeue_attempts) {
+          // Abandoned: the state is about to be freed, so the completion
+          // heap must drop its (stale) events first — they hold pointers.
+          stats_.abandoned_coflow_ids.push_back(c->id().value);
+          SAATH_LOG_INFO("t=%.3fs abandoning stuck coflow %lld after %d "
+                         "re-admissions",
+                         to_seconds(now_),
+                         static_cast<long long>(c->id().value),
+                         c->requeue_attempts);
+          if (config_.event_driven) {
+            heap_.purge_coflows(
+                [c](const CoflowState* dead) { return dead == c; });
+          }
+          data_available_at_.erase(c->id());
+          owned.reset();
+        } else {
+          // Exponential backoff in units of the stall window: the CoFlow
+          // re-enters through on_coflow_arrival once the fabric has had
+          // time to drain whatever starved it. The parked state stays
+          // alive, so stale heap events remain harmless (lazily dropped).
+          const SimTime window = config_.delta * config_.max_stall_epochs;
+          const int shift = std::min(c->requeue_attempts, 20);
+          const SimTime release = now_ + (window << shift);
+          stats_.quarantined_coflow_ids.push_back(c->id().value);
+          quarantined_.push_back({std::move(owned), release});
+        }
+        keep = false;
+        schedule_dirty_ = true;
+      } else {
+        any_stalled = true;
+      }
+    } else {
+      c->stall_rounds = 0;
+    }
+    if (keep) active_[w++] = c;
+  }
+  active_.resize(w);
+  // While any CoFlow is mid-stall the skip must not engage: the counter
+  // ticks once per *scheduling round*, and forcing a recompute keeps that
+  // cadence identical whether skip_quiescent_epochs is on or off.
+  if (any_stalled) schedule_dirty_ = true;
+}
+
+void Engine::release_quarantined() {
+  if (quarantined_.empty()) return;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < quarantined_.size(); ++r) {
+    Quarantined& q = quarantined_[r];
+    if (q.release_at > now_) {
+      quarantined_[w++] = std::move(q);
+      continue;
+    }
+    CoflowState* c = q.state.get();
+    ++c->requeue_attempts;
+    ++stats_.requeue_admissions;
+    active_.push_back(c);
+    push_completion_events(*c);
+    scheduler_.on_coflow_arrival(*c, now_);
+    delta_.mark(c);
+    owned_coflows_.emplace(c, std::move(q.state));
+    schedule_dirty_ = true;
+  }
+  quarantined_.resize(w);
+}
+
+SimTime Engine::next_quarantine_release() const {
+  SimTime best = kNever;
+  for (const Quarantined& q : quarantined_) {
+    if (best == kNever || q.release_at < best) best = q.release_at;
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- checkpoints
+
+void Engine::set_snapshot_hook(std::int64_t every_epochs, SnapshotHook hook) {
+  SAATH_EXPECTS(every_epochs >= 0);
+  snapshot_every_ = every_epochs;
+  snapshot_hook_ = std::move(hook);
+}
+
+CoflowSnapshot Engine::snapshot_coflow(const CoflowState& c) const {
+  CoflowSnapshot cs;
+  cs.spec = c.spec();
+  cs.first_flow_id = c.flows().front().id().value;
+  cs.queue_index = c.queue_index;
+  cs.queue_entered_at = c.queue_entered_at;
+  cs.deadline = c.deadline;
+  cs.dynamics_flagged = c.dynamics_flagged;
+  cs.data_available = c.data_available;
+  cs.stall_rounds = c.stall_rounds;
+  cs.requeue_attempts = c.requeue_attempts;
+  cs.flows.reserve(c.flows().size());
+  for (const FlowState& f : c.flows()) {
+    FlowSnapshot fs;
+    fs.sent_base = f.sent_base();
+    fs.rate = f.rate();
+    fs.anchor = f.anchor();
+    fs.predicted_finish = f.predicted_finish();
+    fs.finished = f.finished();
+    fs.finish_time = f.finish_time();
+    cs.flows.push_back(fs);
+  }
+  return cs;
+}
+
+EngineSnapshot Engine::make_snapshot() const {
+  EngineSnapshot s;
+  s.scheduler = result_.scheduler;
+  s.trace = result_.trace;
+  s.num_ports = fabric_.num_ports();
+  s.now = now_;
+  s.rounds = rounds_;
+  s.epochs = stats_.epochs;
+  s.next_flow_id = next_flow_id_;
+  s.source_events_consumed = stats_.source_events;
+  s.last_source_time = last_source_time_;
+  s.last_arrival_id = last_arrival_id_;
+  s.makespan = result_.makespan;
+  s.active.reserve(active_.size());
+  for (const CoflowState* c : active_) s.active.push_back(snapshot_coflow(*c));
+  for (const Quarantined& q : quarantined_) {
+    s.quarantined.push_back({snapshot_coflow(*q.state), q.release_at});
+  }
+  // Hash-map iteration order is not deterministic; the serialized form must
+  // be, so sort everything that came out of one.
+  for (const auto& [id, when] : data_available_at_) {
+    s.data_gates.emplace_back(id.value, when);
+  }
+  std::sort(s.data_gates.begin(), s.data_gates.end());
+  for (const auto& e : injected_.heap) {
+    s.injected.push_back(injected_.slots[e.slot]);
+  }
+  std::sort(s.injected.begin(), s.injected.end(),
+            [](const CoflowSpec& a, const CoflowSpec& b) {
+              return std::tie(a.arrival, a.id.value) <
+                     std::tie(b.arrival, b.id.value);
+            });
+  for (std::size_t i = next_dynamics_; i < dynamics_.size(); ++i) {
+    s.pending_dynamics.push_back(dynamics_[i]);
+  }
+  for (const DynamicsEvent& d : source_dynamics_) s.pending_dynamics.push_back(d);
+  for (PortIndex p = 0; p < fabric_.num_ports(); ++p) {
+    const double factor = fabric_.port_capacity_factor(p);
+    if (factor != 1.0) s.capacity_factors.emplace_back(p, factor);
+  }
+  s.completed = result_.coflows;
+  return s;
+}
+
+std::unique_ptr<CoflowState> Engine::rebuild_coflow(const CoflowSnapshot& cs) {
+  auto state = std::make_unique<CoflowState>(cs.spec, FlowId{cs.first_flow_id});
+  state->queue_index = cs.queue_index;
+  state->queue_entered_at = cs.queue_entered_at;
+  state->deadline = cs.deadline;
+  state->dynamics_flagged = cs.dynamics_flagged;
+  state->data_available = cs.data_available;
+  state->stall_rounds = cs.stall_rounds;
+  state->requeue_attempts = cs.requeue_attempts;
+  SAATH_EXPECTS(cs.flows.size() == state->flows().size());
+  for (std::size_t i = 0; i < cs.flows.size(); ++i) {
+    const FlowSnapshot& fs = cs.flows[i];
+    if (fs.finished) {
+      state->restore_flow_finished(i, fs.finish_time);
+    } else {
+      state->restore_flow_progress(i, fs.sent_base, fs.rate, fs.anchor,
+                                   fs.predicted_finish);
+    }
+  }
+  // Standing nonzero rates were restored behind the RateAssignment's back:
+  // adopt them so the port accumulators balance and the next begin_epoch()
+  // zeroes exactly this set, as the uninterrupted run's would have.
+  for (FlowState& f : state->flows()) rates_.adopt(*state, f);
+  return state;
+}
+
+void Engine::restore_snapshot(const EngineSnapshot& snap) {
+  SAATH_EXPECTS_MSG(!running_, "restore_snapshot is pre-run only");
+  SAATH_EXPECTS_MSG(active_.empty() && owned_coflows_.empty() && now_ == 0,
+                    "restore_snapshot needs a fresh engine");
+  if (snap.scheduler != result_.scheduler) {
+    throw std::invalid_argument(
+        "checkpoint was taken under scheduler '" + snap.scheduler +
+        "', engine runs '" + result_.scheduler + "'");
+  }
+  if (snap.num_ports != fabric_.num_ports()) {
+    throw std::invalid_argument(
+        "checkpoint fabric has " + std::to_string(snap.num_ports) +
+        " ports, engine fabric has " + std::to_string(fabric_.num_ports()));
+  }
+  now_ = snap.now;
+  rounds_ = snap.rounds;
+  stats_.epochs = snap.epochs;
+  next_flow_id_ = snap.next_flow_id;
+  stats_.source_events = snap.source_events_consumed;
+  last_source_time_ = snap.last_source_time;
+  last_arrival_id_ = snap.last_arrival_id;
+  result_.makespan = snap.makespan;
+  result_.coflows = snap.completed;
+  for (const auto& [id, when] : snap.data_gates) {
+    data_available_at_[CoflowId{id}] = when;
+  }
+  for (const auto& [port, factor] : snap.capacity_factors) {
+    fabric_.set_port_capacity_factor(port, factor);
+  }
+  for (const CoflowSpec& spec : snap.injected) {
+    injected_.push(spec);
+  }
+  // run() sorts the legacy list; streamed-but-unapplied dynamics re-enter
+  // through it (ties stay legacy-first, matching the original routing).
+  for (const DynamicsEvent& d : snap.pending_dynamics) dynamics_.push_back(d);
+  // Open an epoch before adopting: track() keys on the epoch stamp, and a
+  // fresh engine's stamp (0) collides with every flow's initial touch
+  // stamp — adoption into epoch 0 would silently not record the touch.
+  rates_.begin_epoch(now_);
+  for (const CoflowSnapshot& cs : snap.active) {
+    std::unique_ptr<CoflowState> state = rebuild_coflow(cs);
+    CoflowState* raw = state.get();
+    active_.push_back(raw);
+    push_completion_events(*raw);
+    scheduler_.on_coflow_arrival(*raw, now_);
+    delta_.mark(raw);
+    owned_coflows_.emplace(raw, std::move(state));
+    if (!config_.strict_input) admitted_ids_.insert(raw->id().value);
+  }
+  for (const QuarantineSnapshot& qs : snap.quarantined) {
+    std::unique_ptr<CoflowState> state = rebuild_coflow(qs.coflow);
+    if (!config_.strict_input) admitted_ids_.insert(state->id().value);
+    quarantined_.push_back({std::move(state), qs.release_at});
+  }
+  if (!config_.strict_input) {
+    for (const CoflowRecord& rec : result_.coflows) {
+      admitted_ids_.insert(rec.id.value);
+    }
+  }
+  // The restored scheduler state is cold; the fresh delta stream id forces
+  // a full prime on the first schedule(), which the oracle-equality
+  // invariant makes bit-identical to the uninterrupted run's incremental
+  // round.
+  schedule_dirty_ = true;
 }
 
 SimTime Engine::next_completion() {
@@ -585,34 +926,55 @@ SimResult Engine::run() {
                    [](const DynamicsEvent& a, const DynamicsEvent& b) {
                      return a.time < b.time;
                    });
-  while (input_pending() || !active_.empty()) {
+  while (input_pending() || !active_.empty() || !quarantined_.empty()) {
     if (now_ > config_.max_sim_time) {
       // Name the stuck work: without the ids and the epoch, a starvation
-      // hang is undebuggable from the exception alone.
+      // hang is undebuggable from the exception alone. The full list also
+      // lands in stats() so harnesses can consume it programmatically.
+      for (const CoflowState* c : active_) {
+        stats_.stuck_coflow_ids.push_back(c->id().value);
+      }
+      for (const Quarantined& q : quarantined_) {
+        stats_.stuck_coflow_ids.push_back(q.state->id().value);
+      }
       std::string stuck;
       constexpr std::size_t kMaxListed = 16;
-      for (std::size_t i = 0; i < active_.size() && i < kMaxListed; ++i) {
+      for (std::size_t i = 0;
+           i < stats_.stuck_coflow_ids.size() && i < kMaxListed; ++i) {
         if (!stuck.empty()) stuck += ", ";
-        stuck += std::to_string(active_[i]->id().value);
+        stuck += std::to_string(stats_.stuck_coflow_ids[i]);
       }
-      if (active_.size() > kMaxListed) stuck += ", ...";
+      if (stats_.stuck_coflow_ids.size() > kMaxListed) stuck += ", ...";
       throw std::runtime_error(
           "Engine: exceeded max_sim_time at t=" +
           std::to_string(to_seconds(now_)) + "s (epoch " +
           std::to_string(rounds_) + ", scheduler '" + scheduler_.name() +
           "') with " + std::to_string(active_.size()) +
-          " coflows unfinished [ids: " + stuck +
-          "] and " + std::to_string(injected_.size()) +
+          " coflows unfinished [ids: " + stuck + "], " +
+          std::to_string(quarantined_.size()) + " quarantined, " +
+          std::to_string(injected_.size()) +
           " injected pending, source " +
           (input_pending() ? "live" : "exhausted") +
           " (scheduler starving, or an unbounded source needs a horizon?)");
     }
     if (active_.empty()) {
-      const SimTime next_in = next_input_time();
+      SimTime next_in = next_input_time();
+      const SimTime release = next_quarantine_release();
+      if (release != kNever && (next_in == kNever || release < next_in)) {
+        next_in = release;
+      }
       SAATH_EXPECTS(next_in != kNever);
       now_ = std::max(now_, next_in);
     }
+    // Checkpoint instant: nothing is staged, no epoch is half-applied —
+    // events due exactly at now_ have not been pulled yet, so a resumed run
+    // re-pulls them from the journal suffix.
+    if (snapshot_every_ > 0 && snapshot_hook_ && stats_.epochs > 0 &&
+        stats_.epochs % snapshot_every_ == 0) {
+      snapshot_hook_(make_snapshot());
+    }
     const auto ingest_t0 = Clock::now();
+    release_quarantined();
     admit_arrivals();
     process_dynamics();
     stats_.ingest_ns += ns_since(ingest_t0);
@@ -628,7 +990,10 @@ SimResult Engine::run() {
         config_.skip_quiescent_epochs && !schedule_dirty_ &&
         now_ < schedule_valid_until_ &&
         fabric_.capacity_version() == scheduled_capacity_version_;
-    if (!quiescent) compute_schedule();
+    if (!quiescent) {
+      compute_schedule();
+      update_quarantine();
+    }
     advance_until(now_ + config_.delta);
   }
   std::sort(result_.coflows.begin(), result_.coflows.end(),

@@ -33,7 +33,9 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -42,6 +44,7 @@
 #include "sim/rate_assignment.h"
 #include "sim/result.h"
 #include "sim/scheduler.h"
+#include "sim/snapshot.h"
 #include "trace/trace.h"
 #include "workload/source.h"
 
@@ -92,6 +95,40 @@ struct SimConfig {
   /// serial path is the bit-identity oracle, and results are byte-identical
   /// for ANY value of this knob; it is purely a wall-clock lever.
   int parallel_shards = 0;
+  /// Graceful degradation: a CoFlow that sits schedulable (data available)
+  /// yet fully unrated for this many consecutive scheduling rounds is
+  /// *quarantined* — detached from the scheduler, parked, and re-admitted
+  /// after an exponential backoff. 0 (default) disables the detector
+  /// entirely; runs without it are byte-identical to the pre-quarantine
+  /// engine.
+  int max_stall_epochs = 0;
+  /// Quarantine re-admissions granted before the CoFlow is abandoned
+  /// (reported in EngineStats::abandoned_coflow_ids, never finished).
+  int max_requeue_attempts = 3;
+  /// Input validation posture. true (default): any violation of the
+  /// WorkloadSource contract (ordering, malformed specs, bad dynamics)
+  /// aborts via SAATH_EXPECTS — correct for trusted generators. false:
+  /// violations become typed InputFault records in EngineStats and the
+  /// offending event is dropped; the run continues on the valid prefix of
+  /// the stream (fault-injection and untrusted-trace runs).
+  bool strict_input = true;
+};
+
+/// One tolerated workload-input anomaly (SimConfig::strict_input = false):
+/// what was wrong, when it was pulled, and which CoFlow/port it named.
+struct InputFault {
+  enum class Kind {
+    kOutOfOrder,       // event time went backwards
+    kTieOrder,         // same-time arrivals out of CoflowId order
+    kDuplicateId,      // CoflowId already admitted this run
+    kMalformedSpec,    // empty flow set / negative size / bad port
+    kArrivalMismatch,  // coflow.arrival != event time
+    kBadDynamics,      // port out of range or capacity factor outside [0,1]
+  };
+  Kind kind = Kind::kMalformedSpec;
+  SimTime time = 0;
+  std::int64_t id = -1;  // CoflowId when the event named one
+  std::string detail;
 };
 
 /// Wall-clock phase costs and event counts of one run, for the
@@ -129,6 +166,27 @@ struct EngineStats {
   /// max/mean over shard_busy_ns — 1.0 is a perfectly balanced partition;
   /// 0 when the run was serial.
   double shard_imbalance = 0;
+
+  /// Robustness accounting ---------------------------------------------
+  /// Source events dropped in tolerant mode (strict_input = false).
+  std::int64_t rejected_events = 0;
+  /// First kMaxInputFaults dropped events, with the reason (the count in
+  /// rejected_events keeps growing past the cap).
+  std::vector<InputFault> input_faults;
+  static constexpr std::size_t kMaxInputFaults = 64;
+  /// Times a stalled CoFlow was detached into quarantine.
+  std::int64_t quarantine_events = 0;
+  /// Times a quarantined CoFlow was re-admitted after backoff.
+  std::int64_t requeue_admissions = 0;
+  /// Every CoFlow that was ever quarantined (duplicates per re-entry).
+  std::vector<std::int64_t> quarantined_coflow_ids;
+  /// CoFlows given up on after max_requeue_attempts — they never finish
+  /// and produce no CoflowRecord.
+  std::vector<std::int64_t> abandoned_coflow_ids;
+  /// Unfinished CoFlows at the moment the max_sim_time runaway guard
+  /// fired (empty on clean completion) — filled just before the throw so
+  /// post-mortems can name the stuck work programmatically.
+  std::vector<std::int64_t> stuck_coflow_ids;
 };
 
 class Engine {
@@ -165,6 +223,24 @@ class Engine {
   /// Adds a CoFlow during the run (arrival must be >= now). Admission
   /// merges with source arrivals in (arrival, id) order.
   void inject_coflow(CoflowSpec spec);
+
+  /// Checkpointing ----------------------------------------------------------
+  /// Captures the full resumable state (see sim/snapshot.h). Taken at the
+  /// run-loop top (via the snapshot hook) the capture is exact: no event is
+  /// staged, no epoch is half-applied. Callable any time for inspection.
+  [[nodiscard]] EngineSnapshot make_snapshot() const;
+  /// Pre-run only: seeds a fresh engine from a snapshot so run() continues
+  /// the interrupted run. The workload source must be positioned past the
+  /// snapshot's source_events_consumed (replay::ReplaySource::skip). Throws
+  /// std::invalid_argument when the snapshot was taken under a different
+  /// scheduler or fabric width. Resumed runs reproduce the uninterrupted
+  /// run's SimResult byte-identically (see ROADMAP "Record/replay fencing").
+  void restore_snapshot(const EngineSnapshot& snap);
+  /// Invoked at the run-loop top every `every_epochs` epochs with a fresh
+  /// snapshot (0 disables). The hook owns persistence — the engine never
+  /// touches the filesystem.
+  using SnapshotHook = std::function<void(const EngineSnapshot&)>;
+  void set_snapshot_hook(std::int64_t every_epochs, SnapshotHook hook);
 
   /// Runs to completion of all CoFlows and returns the per-CoFlow records.
   [[nodiscard]] SimResult run();
@@ -237,6 +313,31 @@ class Engine {
   /// valid predicted finish (admission, post-restart); event mode only.
   void push_completion_events(CoflowState& coflow);
 
+  /// Tolerant-mode fault accounting (strict_input = false): counts the
+  /// drop and records the first kMaxInputFaults with reasons.
+  void record_input_fault(InputFault::Kind kind, SimTime time,
+                          std::int64_t id, std::string detail);
+  /// nullptr when `spec` is well-formed for this fabric; otherwise a
+  /// static string naming the defect (tolerant-mode pre-admission check —
+  /// CoflowState's constructor asserts on these).
+  [[nodiscard]] const char* check_spec(const CoflowSpec& spec) const;
+
+  /// Quarantine machinery (SimConfig::max_stall_epochs > 0) ---------------
+  /// After a scheduling round: ticks stall counters, detaches CoFlows that
+  /// crossed the threshold (scheduler hook + backoff park or abandonment).
+  void update_quarantine();
+  /// Re-admits every quarantined CoFlow whose backoff expired (loop top).
+  void release_quarantined();
+  [[nodiscard]] SimTime next_quarantine_release() const;
+
+  /// Checkpoint internals --------------------------------------------------
+  [[nodiscard]] CoflowSnapshot snapshot_coflow(const CoflowState& c) const;
+  /// Rebuilds a CoflowState from its snapshot: fresh construction, then
+  /// exact trajectory-bit restore and RateAssignment adoption of standing
+  /// rates (requires an open epoch — restore_snapshot begins one).
+  [[nodiscard]] std::unique_ptr<CoflowState> rebuild_coflow(
+      const CoflowSnapshot& cs);
+
   std::shared_ptr<workload::WorkloadSource> source_;
   Scheduler& scheduler_;
   SimConfig config_;
@@ -283,6 +384,18 @@ class Engine {
   std::unordered_map<CoflowId, SimTime> data_available_at_;
   CompletionCallback completion_callback_;
   ResultSink* sink_ = nullptr;
+
+  /// Stalled CoFlows detached from scheduling, awaiting their backoff
+  /// release (admission order preserved within the list).
+  struct Quarantined {
+    std::unique_ptr<CoflowState> state;
+    SimTime release_at = 0;
+  };
+  std::vector<Quarantined> quarantined_;
+  /// Tolerant mode only: every admitted CoflowId, for duplicate rejection.
+  std::unordered_set<std::int64_t> admitted_ids_;
+  SnapshotHook snapshot_hook_;
+  std::int64_t snapshot_every_ = 0;
 
   /// Dirty-set handed to the scheduler at each compute_schedule(): every
   /// CoFlow whose state changed since the previous call (arrivals,

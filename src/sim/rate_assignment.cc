@@ -58,6 +58,15 @@ void RateAssignment::nullify(CoflowState& coflow) {
   }
 }
 
+void RateAssignment::adopt(CoflowState& coflow, FlowState& flow) {
+  if (flow.finished() || flow.rate() == 0) return;
+  if (!send_alloc_.empty()) {
+    send_alloc_[static_cast<std::size_t>(flow.src())] += flow.rate();
+    recv_alloc_[static_cast<std::size_t>(flow.dst())] += flow.rate();
+  }
+  track(coflow, flow);
+}
+
 void RateAssignment::flow_stopped(const FlowState& flow) {
   if (flow.finished()) return;
   apply_delta(flow, 0);

@@ -42,6 +42,13 @@ class RateAssignment {
   /// un-availability: the slot is wasted, the port budget is not refunded).
   void nullify(CoflowState& coflow);
 
+  /// Checkpoint restore: registers a flow whose nonzero rate was restored
+  /// behind this view's back — adds the standing rate to the port
+  /// accumulators and records the touch, so the next begin_epoch() zeroes
+  /// it exactly as it would have in the uninterrupted run. Call after
+  /// begin_epoch() has opened an epoch (no-op for finished/unrated flows).
+  void adopt(CoflowState& coflow, FlowState& flow);
+
   struct Touch {
     CoflowState* coflow = nullptr;
     FlowState* flow = nullptr;

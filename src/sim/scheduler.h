@@ -150,6 +150,16 @@ class Scheduler {
     (void)coflow;
     (void)now;
   }
+  /// The engine is detaching a stuck-but-unfinished CoFlow from the
+  /// schedulable set (graceful degradation under faults — see
+  /// SimConfig::max_stall_epochs). Schedulers maintaining per-CoFlow
+  /// structures must drop it exactly as a completion would; it may be
+  /// re-announced later through on_coflow_arrival when the engine
+  /// re-admits it after backoff.
+  virtual void on_coflow_quarantined(CoflowState& coflow, SimTime now) {
+    (void)coflow;
+    (void)now;
+  }
 
  protected:
   /// Borrowed worker pool (see set_parallelism); nullptr = serial.

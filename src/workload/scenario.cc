@@ -1,6 +1,7 @@
 #include "workload/scenario.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -208,20 +209,62 @@ void ensure_builtins_locked() {
 
 std::int64_t ScenarioParams::get_int(const std::string& key,
                                      std::int64_t fallback) const {
+  consumed_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stoll(it->second);
+  if (it == values_.end()) return fallback;
+  // Full-string parse: "12abc" is an error, not 12 — a malformed override
+  // must fail the run, never silently bend the workload.
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end != it->second.c_str() + it->second.size()) {
+    throw std::invalid_argument("scenario parameter " + key + "='" +
+                                it->second + "' is not an integer");
+  }
+  return static_cast<std::int64_t>(v);
 }
 
 double ScenarioParams::get_double(const std::string& key,
                                   double fallback) const {
+  consumed_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end != it->second.c_str() + it->second.size()) {
+    throw std::invalid_argument("scenario parameter " + key + "='" +
+                                it->second + "' is not a number");
+  }
+  return v;
 }
 
 std::string ScenarioParams::get_string(const std::string& key,
                                        std::string fallback) const {
+  consumed_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+const std::vector<std::string>& ScenarioParams::universal_keys() {
+  // CI matrices pass one override set to every scenario; these keys are
+  // meaningful across all of them (or consumed by run_scenario itself),
+  // so an individual scenario not reading one is not an error.
+  static const std::vector<std::string> keys = {"seed", "ports", "coflows",
+                                                "jobs"};
+  return keys;
+}
+
+std::vector<std::string> ScenarioParams::unconsumed() const {
+  std::vector<std::string> out;
+  const auto& universal = universal_keys();
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) > 0) continue;
+    if (std::find(universal.begin(), universal.end(), key) !=
+        universal.end()) {
+      continue;
+    }
+    out.push_back(key);
+  }
+  return out;
 }
 
 void register_scenario(std::string name, std::string description,
@@ -283,6 +326,24 @@ ScenarioRunResult run_scenario(std::string_view name,
   // wall-clock lever, results are byte-identical for any value.
   cfg.parallel_shards = static_cast<int>(
       params.get_int("shards", cfg.parallel_shards));
+  // Robustness knobs (quarantine + tolerant input), valid for any scenario.
+  cfg.max_stall_epochs = static_cast<int>(
+      params.get_int("stall_epochs", cfg.max_stall_epochs));
+  cfg.max_requeue_attempts = static_cast<int>(
+      params.get_int("requeue", cfg.max_requeue_attempts));
+  if (params.get_int("strict_input", 1) == 0) cfg.strict_input = false;
+  // Every override must have been read by now; an unread key is a typo or
+  // a knob the scenario does not have — fail loudly either way.
+  if (const auto unknown = params.unconsumed(); !unknown.empty()) {
+    std::string listed;
+    for (const auto& key : unknown) {
+      if (!listed.empty()) listed += ", ";
+      listed += key;
+    }
+    throw std::invalid_argument("scenario '" + std::string(name) +
+                                "' does not understand parameter(s): " +
+                                listed);
+  }
   Engine engine(setup.source, *sched, cfg);
   if (sink) engine.set_result_sink(sink);
   ScenarioRunResult out;

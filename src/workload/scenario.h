@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
@@ -23,9 +24,16 @@
 
 namespace saath::workload {
 
-/// String key=value overrides from the driver command line. Unknown keys
-/// are ignored (scenarios read only the knobs they understand), so one CI
-/// override like coflows=200 can apply across heterogeneous scenarios.
+/// String key=value overrides from the driver command line.
+///
+/// Reads are strict and audited: get_int/get_double throw
+/// std::invalid_argument on a malformed value (naming key and value —
+/// "coflows=12abc" fails instead of silently truncating to 12), and every
+/// accessor marks its key consumed. run_scenario() rejects parameter sets
+/// with unconsumed keys, so a typo like "coflow=200" exits loudly instead
+/// of silently running the default workload. Keys in universal_keys() are
+/// exempt — CI matrices pass them to heterogeneous scenarios that each
+/// read only a subset.
 class ScenarioParams {
  public:
   ScenarioParams() = default;
@@ -36,6 +44,7 @@ class ScenarioParams {
     values_[key] = std::move(value);
   }
   [[nodiscard]] bool has(const std::string& key) const {
+    consumed_.insert(key);
     return values_.count(key) > 0;
   }
   [[nodiscard]] std::int64_t get_int(const std::string& key,
@@ -45,8 +54,17 @@ class ScenarioParams {
   [[nodiscard]] std::string get_string(const std::string& key,
                                        std::string fallback) const;
 
+  /// Keys present but never read by any accessor (sorted). Universal keys
+  /// are never reported.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+  /// Cross-scenario keys every driver may pass regardless of what the
+  /// selected scenario reads.
+  [[nodiscard]] static const std::vector<std::string>& universal_keys();
+
  private:
   std::map<std::string, std::string> values_;
+  /// Consumption audit; mutable because reads are semantically const.
+  mutable std::set<std::string> consumed_;
 };
 
 /// One runnable instantiation of a scenario.

@@ -739,5 +739,162 @@ TEST(ScenarioRegistry, UserScenariosRegisterAndOverrideParams) {
   EXPECT_TRUE(found);
 }
 
+// --------------------------------------------- combinator edge conditions
+
+TEST(JitterSource, ArrivalAtTimeZeroIsNeverShiftedNegative) {
+  // t=0 arrivals sit on the clock's origin: jitter must only ever push them
+  // forward, and the re-sort buffer must keep the (time, id) invariant even
+  // when several origin arrivals land on distinct jittered instants.
+  auto t = testing::make_trace(
+      4, {testing::make_coflow(0, 0, {{0, 1, 100}}),
+          testing::make_coflow(1, 0, {{1, 2, 100}}),
+          testing::make_coflow(2, 0, {{2, 3, 100}}),
+          testing::make_coflow(3, msec(5), {{3, 0, 100}})});
+  auto jittered = std::make_shared<workload::JitterSource>(
+      std::make_shared<workload::TraceSource>(std::move(t)), msec(20), 99);
+  SimTime last = 0;
+  std::int64_t last_id_at_time = -1;
+  int seen = 0;
+  while (jittered->peek_next_time() != kNever) {
+    const auto ev = jittered->next();
+    ASSERT_GE(ev.time, 0);
+    ASSERT_GE(ev.time, last);
+    if (ev.time != last) last_id_at_time = -1;
+    EXPECT_GT(ev.coflow.id.value, last_id_at_time);
+    last_id_at_time = ev.coflow.id.value;
+    last = ev.time;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 4);
+
+  // And with zero jitter the origin arrivals pass through untouched.
+  auto t2 = testing::make_trace(
+      4, {testing::make_coflow(0, 0, {{0, 1, 100}}),
+          testing::make_coflow(1, 0, {{1, 2, 100}})});
+  auto still = std::make_shared<workload::JitterSource>(
+      std::make_shared<workload::TraceSource>(std::move(t2)), 0, 99);
+  EXPECT_EQ(still->peek_next_time(), 0);
+  EXPECT_EQ(still->next().coflow.id.value, 0);
+  EXPECT_EQ(still->next().coflow.id.value, 1);
+  EXPECT_EQ(still->peek_next_time(), kNever);
+}
+
+TEST(MergeSource, ChildExhaustionMidStreamKeepsTheMergeFlowing) {
+  // The short child drains while the long child still has events: the merge
+  // must neither stall nor re-emit at the boundary, and its peek must fall
+  // through to the surviving child immediately.
+  auto short_child = testing::make_trace(
+      4, {testing::make_coflow(0, msec(1), {{0, 1, 100}})});
+  auto long_child = testing::make_trace(
+      4, {testing::make_coflow(0, msec(2), {{1, 2, 100}}),
+          testing::make_coflow(1, msec(30), {{2, 3, 100}}),
+          testing::make_coflow(2, msec(40), {{3, 0, 100}})});
+  auto merged = std::make_shared<workload::MergeSource>(
+      std::vector<std::shared_ptr<workload::WorkloadSource>>{
+          std::make_shared<workload::TraceSource>(std::move(short_child)),
+          std::make_shared<workload::TraceSource>(std::move(long_child))});
+  std::vector<SimTime> times;
+  while (merged->peek_next_time() != kNever) {
+    times.push_back(merged->next().time);
+  }
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], msec(1));  // short child's only event
+  EXPECT_EQ(times[1], msec(2));  // boundary: merge continues seamlessly
+  EXPECT_EQ(times[3], msec(40));
+  EXPECT_EQ(merged->peek_next_time(), kNever);
+}
+
+/// Completion-recording wrapper: proves feedback reaches a child (with its
+/// own id space restored) even after that child's stream has drained.
+class CompletionProbe final : public workload::WorkloadSource {
+ public:
+  explicit CompletionProbe(std::shared_ptr<workload::WorkloadSource> inner)
+      : inner_(std::move(inner)) {}
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] int num_ports() const override { return inner_->num_ports(); }
+  [[nodiscard]] SimTime peek_next_time() override {
+    return inner_->peek_next_time();
+  }
+  [[nodiscard]] workload::WorkloadEvent next() override {
+    return inner_->next();
+  }
+  void on_coflow_complete(const CoflowRecord& rec, SimTime now) override {
+    completed_ids.push_back(rec.id.value);
+    inner_->on_coflow_complete(rec, now);
+  }
+  std::vector<std::int64_t> completed_ids;
+ private:
+  std::shared_ptr<workload::WorkloadSource> inner_;
+};
+
+TEST(MergeSource, RoutesCompletionsToADrainedChild) {
+  // The probe child's arrivals are early and tiny; by the time they finish,
+  // the child is long exhausted. The merge must still route each completion
+  // back with the child's original (pre-reassignment) id.
+  auto probe = std::make_shared<CompletionProbe>(
+      std::make_shared<workload::TraceSource>(testing::make_trace(
+          6, {testing::make_coflow(0, 0, {{0, 1, 1 * kMB}}),
+              testing::make_coflow(1, 0, {{2, 3, 1 * kMB}})})));
+  auto other = testing::make_trace(
+      6, {testing::make_coflow(0, msec(5), {{4, 5, 40 * kMB}})});
+  auto merged = std::make_shared<workload::MergeSource>(
+      std::vector<std::shared_ptr<workload::WorkloadSource>>{
+          probe, std::make_shared<workload::TraceSource>(std::move(other))});
+  SaathScheduler sched;
+  const auto result = simulate(merged, sched, {});
+  ASSERT_EQ(result.coflows.size(), 3u);
+  // Original child ids 0 and 1, not the merge's dense re-identification.
+  ASSERT_EQ(probe->completed_ids.size(), 2u);
+  EXPECT_EQ(std::min(probe->completed_ids[0], probe->completed_ids[1]), 0);
+  EXPECT_EQ(std::max(probe->completed_ids[0], probe->completed_ids[1]), 1);
+}
+
+// ------------------------------------------------- strict scenario params
+
+TEST(ScenarioParams, MalformedValueThrowsNamingKeyAndValue) {
+  workload::ScenarioParams params;
+  params.set("coflows", "12abc");
+  try {
+    (void)params.get_int("coflows", 1);
+    FAIL() << "malformed integer should throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("coflows"), std::string::npos) << what;
+    EXPECT_NE(what.find("12abc"), std::string::npos) << what;
+  }
+  params.set("rate", "fast");
+  EXPECT_THROW((void)params.get_double("rate", 1.0), std::invalid_argument);
+  // Well-formed values still parse (negative integers stay valid).
+  params.set("n", "-42");
+  EXPECT_EQ(params.get_int("n", 0), -42);
+}
+
+TEST(ScenarioParams, RunScenarioRejectsUnconsumedKeys) {
+  workload::ScenarioParams params;
+  params.set("coflows", "20");
+  params.set("coflow", "99");  // the classic typo
+  try {
+    (void)workload::run_scenario("steady-churn", params);
+    FAIL() << "unknown key should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("coflow"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioParams, UniversalKeysPassEverywhere) {
+  // CI matrices pass seed/ports/coflows/jobs to every scenario; a scenario
+  // reading none of them must not reject the set.
+  workload::ScenarioParams params;
+  params.set("seed", "3");
+  params.set("ports", "16");
+  params.set("coflows", "20");
+  params.set("jobs", "2");
+  for (const auto& info : workload::known_scenarios()) {
+    EXPECT_NO_THROW((void)workload::run_scenario(info.name, params))
+        << info.name;
+  }
+}
+
 }  // namespace
 }  // namespace saath
