@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
+#include <system_error>
 
 #include "analysis/metrics.h"
 #include "analysis/table.h"
@@ -18,6 +20,29 @@
 #include "trace/synth.h"
 
 namespace saath::bench {
+
+/// Resolves a bare BENCH_*.json filename to the repo root — the nearest
+/// ancestor of the current directory holding both ROADMAP.md and
+/// CMakeLists.txt — so every bench binary writes its snapshot to one
+/// canonical, committable place no matter which build directory it runs
+/// from. Names that already carry a directory component are returned
+/// verbatim (explicit --out paths win), and when no repo root is found the
+/// bare name falls back to the current directory.
+inline std::string bench_out_path(const std::string& name) {
+  if (name.find('/') != std::string::npos) return name;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  while (!ec && !dir.empty()) {
+    if (fs::exists(dir / "ROADMAP.md", ec) &&
+        fs::exists(dir / "CMakeLists.txt", ec)) {
+      return (dir / name).string();
+    }
+    if (dir == dir.parent_path()) break;
+    dir = dir.parent_path();
+  }
+  return name;
+}
 
 /// The evaluation defaults of §6: S=10MB, E=10, K=10, δ=8ms, 1 Gbps ports.
 inline SimConfig paper_sim_config() {

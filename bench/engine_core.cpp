@@ -19,9 +19,12 @@
 
 #include "bench_util.h"
 #include "fabric/maxmin.h"
+#include "replay/journal.h"
+#include "sched/factory.h"
 #include "sched/saath.h"
 #include "sim/engine.h"
 #include "trace/synth.h"
+#include "workload/scenario.h"
 
 namespace saath {
 namespace {
@@ -61,6 +64,35 @@ RunMeasurement run_engine(const trace::Trace& trace, bool event_driven) {
   return m;
 }
 
+/// One steady-churn scenario run (the ROADMAP perf-trajectory workload:
+/// continuous arrivals over 60 ports, so epoch cost is dominated by the
+/// scheduler + heap hot path rather than startup/drain transients).
+struct ChurnMeasurement {
+  double wall_ms = 0;
+  int epochs = 0;
+  double epochs_per_sec = 0;
+  std::uint64_t digest = 0;
+};
+
+ChurnMeasurement run_steady_churn(const std::string& sched_name,
+                                  bool event_driven) {
+  workload::ScenarioSetup setup = workload::make_scenario("steady-churn");
+  auto sched = make_scheduler(sched_name);
+  SimConfig cfg = setup.config;
+  apply_scheduler_sim_overrides(sched_name, cfg);
+  cfg.event_driven = event_driven;
+  Engine engine(setup.source, *sched, cfg);
+  const auto t0 = Clock::now();
+  const SimResult result = engine.run();
+  ChurnMeasurement m;
+  m.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  m.epochs = engine.scheduling_rounds();
+  m.epochs_per_sec = m.epochs / (m.wall_ms / 1e3);
+  m.digest = replay::result_digest(result);
+  return m;
+}
+
 /// maxmin ns/flow on a busy snapshot: every flow of every CoFlow contends.
 double bench_maxmin(const trace::Trace& trace, int* out_flows) {
   std::vector<MaxMinDemand> demands;
@@ -88,6 +120,7 @@ int run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--coflows") == 0) coflows = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
   }
+  out = bench::bench_out_path(out);
 
   trace::SynthConfig cfg;
   cfg.num_ports = 150;
@@ -114,6 +147,31 @@ int run(int argc, char** argv) {
 
   int maxmin_flows = 0;
   const double maxmin_ns_per_flow = bench_maxmin(trace, &maxmin_flows);
+
+  // Steady-churn matrix: every scheduler runs event-driven and against the
+  // scan oracle; the digests must agree pairwise (the SoA/batched-heap hot
+  // path is digest-gated, not just epoch-count-gated). The saath
+  // event-driven epochs/sec is the perf-trajectory headline number.
+  const char* kChurnScheds[] = {"saath", "aalo", "uc-tcp"};
+  ChurnMeasurement churn_event[3], churn_oracle[3];
+  bool churn_identical = true;
+  std::printf("\nsteady-churn scenario (event-driven vs scan oracle)\n");
+  std::printf("%-10s %12s %12s %10s %18s\n", "scheduler", "event ep/s",
+              "oracle ep/s", "ratio", "digest");
+  for (int s = 0; s < 3; ++s) {
+    churn_event[s] = run_steady_churn(kChurnScheds[s], /*event_driven=*/true);
+    churn_oracle[s] = run_steady_churn(kChurnScheds[s], /*event_driven=*/false);
+    const bool same = churn_event[s].digest == churn_oracle[s].digest;
+    churn_identical = churn_identical && same;
+    const double ratio = churn_oracle[s].epochs_per_sec > 0
+                             ? churn_event[s].epochs_per_sec /
+                                   churn_oracle[s].epochs_per_sec
+                             : 0.0;
+    std::printf("%-10s %12.0f %12.0f %9.2fx %018llx%s\n", kChurnScheds[s],
+                churn_event[s].epochs_per_sec, churn_oracle[s].epochs_per_sec,
+                ratio, static_cast<unsigned long long>(churn_event[s].digest),
+                same ? "" : "  DIGEST MISMATCH");
+  }
 
   const double advance_ratio =
       event.advance_ns_per_completion > 0
@@ -156,8 +214,11 @@ int run(int argc, char** argv) {
                "\"schedule_ms\": %.3f},\n"
                "  \"advance_ratio\": %.2f,\n"
                "  \"end_to_end_ratio\": %.2f,\n"
-               "  \"maxmin\": {\"flows\": %d, \"ns_per_flow\": %.1f}\n"
-               "}\n",
+               "  \"maxmin\": {\"flows\": %d, \"ns_per_flow\": %.1f},\n"
+               "  \"steady_churn\": {\n"
+               "    \"digests_match\": %s,\n"
+               "    \"epochs_per_sec\": %.1f,\n"
+               "    \"schedulers\": {\n",
                trace.name.c_str(), coflows, trace.num_ports,
                identical ? "true" : "false", event.wall_ms, event.epochs,
                event.epochs_per_sec, static_cast<long long>(event.completions),
@@ -166,10 +227,27 @@ int run(int argc, char** argv) {
                oracle.epochs_per_sec, static_cast<long long>(oracle.completions),
                oracle.advance_ns_per_completion, oracle.advance_ms,
                oracle.schedule_ms, advance_ratio, end_to_end_ratio,
-               maxmin_flows, maxmin_ns_per_flow);
+               maxmin_flows, maxmin_ns_per_flow,
+               churn_identical ? "true" : "false",
+               churn_event[0].epochs_per_sec);
+  for (int s = 0; s < 3; ++s) {
+    std::fprintf(
+        f,
+        "      \"%s\": {\"event_epochs_per_sec\": %.1f, "
+        "\"oracle_epochs_per_sec\": %.1f, \"event_epochs\": %d, "
+        "\"event_wall_ms\": %.3f, \"digest\": \"%016llx\", "
+        "\"digests_match\": %s}%s\n",
+        kChurnScheds[s], churn_event[s].epochs_per_sec,
+        churn_oracle[s].epochs_per_sec, churn_event[s].epochs,
+        churn_event[s].wall_ms,
+        static_cast<unsigned long long>(churn_event[s].digest),
+        churn_event[s].digest == churn_oracle[s].digest ? "true" : "false",
+        s + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "    }\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
-  return identical ? 0 : 2;
+  return identical && churn_identical ? 0 : 2;
 }
 
 }  // namespace

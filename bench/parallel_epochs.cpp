@@ -123,6 +123,7 @@ int run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
   }
+  out = bench::bench_out_path(out);
   const int cores =
       static_cast<int>(std::thread::hardware_concurrency());
 

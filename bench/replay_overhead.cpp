@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_util.h"
 #include "replay/journal.h"
 #include "sched/factory.h"
 #include "sim/engine.h"
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
     if (std::strcmp(argv[i], "--journal") == 0) journal_path = argv[i + 1];
   }
+  out_path = bench::bench_out_path(out_path);
 
   SimConfig cfg;
   cfg.max_sim_time = seconds(4'000'000);

@@ -202,6 +202,7 @@ int run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--rounds") == 0) rounds = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
   }
+  out = bench::bench_out_path(out);
 
   bench::print_header(
       "schedule phase — delta-driven order index vs full scan+sort, " +

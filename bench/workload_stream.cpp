@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_util.h"
 #include "sched/factory.h"
 #include "sim/engine.h"
 #include "workload/sink.h"
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--coflows") == 0) coflows = std::atoll(argv[i + 1]);
     if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
   }
+  out_path = bench::bench_out_path(out_path);
 
   auto source = std::make_shared<workload::SynthSource>(stream_config(coflows));
   auto scheduler = make_scheduler("saath");

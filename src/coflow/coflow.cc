@@ -36,22 +36,34 @@ Bytes CoflowSpec::max_flow_bytes() const {
 }
 
 FlowState::FlowState(FlowId id, const FlowSpec& spec, SimTime origin)
-    : id_(id),
-      src_(spec.src),
-      dst_(spec.dst),
-      size_(static_cast<double>(spec.size)),
-      anchor_(origin),
-      // A zero-byte flow is done the moment it exists; everything else
-      // cannot finish until it is given a rate.
-      predicted_finish_(spec.size <= 0 ? origin : kNever) {
+    : FlowState(id, spec, origin, new FlowPool(1), 0) {
+  own_pool_.reset(pool_);
+}
+
+FlowState::FlowState(FlowId id, const FlowSpec& spec, SimTime origin,
+                     FlowPool* pool, std::uint32_t index)
+    : pool_(pool), index_(index), id_(id), src_(spec.src), dst_(spec.dst) {
   SAATH_EXPECTS(spec.src >= 0);
   SAATH_EXPECTS(spec.dst >= 0);
   SAATH_EXPECTS(spec.size >= 0);
+  pool_->size_bytes[index_] = static_cast<double>(spec.size);
+  pool_->anchor[index_] = origin;
+  pool_->src[index_] = spec.src;
+  pool_->dst[index_] = spec.dst;
+  // A zero-byte flow is done the moment it exists; everything else cannot
+  // finish until it is given a rate.
+  pool_->predicted_finish[index_] = spec.size <= 0 ? origin : kNever;
 }
 
 void FlowState::set_rate(Rate r, SimTime now) {
   SAATH_EXPECTS(r >= 0);
-  if (finished_) return;
+  if (pool_->finished[index_]) return;
+  const double size_ = pool_->size_bytes[index_];
+  double& sent_base_ = pool_->sent_base[index_];
+  Rate& rate_ = pool_->rate[index_];
+  SimTime& anchor_ = pool_->anchor[index_];
+  SimTime& predicted_finish_ = pool_->predicted_finish[index_];
+  std::uint64_t& rate_version_ = pool_->rate_version[index_];
   // Anchors never move backwards: a query/change dated before the last fold
   // behaves as if issued at the fold (only direct drivers ever do this).
   const SimTime at = std::max(now, anchor_);
@@ -114,28 +126,35 @@ void FlowState::set_rate(Rate r, SimTime now) {
 }
 
 void FlowState::complete(SimTime now) {
-  SAATH_EXPECTS(!finished_);
+  SAATH_EXPECTS(!finished());
+  Rate& rate_ = pool_->rate[index_];
+  SimTime& anchor_ = pool_->anchor[index_];
+  std::uint64_t& rate_version_ = pool_->rate_version[index_];
   const Rate before = rate_;
-  sent_base_ = size_;
+  pool_->sent_base[index_] = pool_->size_bytes[index_];
   rate_ = 0;
   anchor_ = std::max(now, anchor_);
-  finished_ = true;
+  pool_->finished[index_] = 1;
   finish_time_ = now;
-  predicted_finish_ = now;
+  pool_->predicted_finish[index_] = now;
   sync_version(rate_version_, rate_version_ + 1);
   ++rate_version_;
   note_mutation(before, 0);
 }
 
 double FlowState::restart(SimTime now) {
-  SAATH_EXPECTS(!finished_);
+  SAATH_EXPECTS(!finished());
+  Rate& rate_ = pool_->rate[index_];
+  SimTime& anchor_ = pool_->anchor[index_];
+  std::uint64_t& rate_version_ = pool_->rate_version[index_];
   const SimTime at = std::max(now, anchor_);
   const double lost = sent(at);
   const Rate before = rate_;
-  sent_base_ = 0;
+  pool_->sent_base[index_] = 0;
   rate_ = 0;
   anchor_ = at;
-  predicted_finish_ = size_ <= 0 ? at : kNever;
+  pool_->predicted_finish[index_] =
+      pool_->size_bytes[index_] <= 0 ? at : kNever;
   resume_zeroed_at_ = kNever;
   sync_version(rate_version_, rate_version_ + 1);
   ++rate_version_;
@@ -195,10 +214,12 @@ int CoflowState::find_slot(const std::vector<PortLoad>& loads,
 CoflowState::CoflowState(CoflowSpec spec, FlowId first_flow_id)
     : spec_(std::move(spec)) {
   SAATH_EXPECTS(!spec_.flows.empty());
+  pool_.allocate(spec_.flows.size());
   flows_.reserve(spec_.flows.size());
   std::int64_t next = first_flow_id.value;
+  std::uint32_t slot = 0;
   for (const auto& fs : spec_.flows) {
-    flows_.emplace_back(FlowId{next++}, fs, spec_.arrival);
+    flows_.emplace_back(FlowId{next++}, fs, spec_.arrival, &pool_, slot++);
     flows_.back().owner_ = this;
     add_load(senders_, fs.src);
     add_load(receivers_, fs.dst);
@@ -245,7 +266,8 @@ SimTime CoflowState::completion_time() const {
 double CoflowState::total_sent(SimTime now) const {
   return cached_aggregate(total_sent_cache_, now, [&] {
     double sum = 0;
-    for (const auto& f : flows_) sum += f.sent(now);
+    const std::size_t n = flows_.size();
+    for (std::size_t i = 0; i < n; ++i) sum += pool_.sent(i, now);
     return sum;
   });
 }
@@ -253,14 +275,20 @@ double CoflowState::total_sent(SimTime now) const {
 double CoflowState::max_flow_sent(SimTime now) const {
   return cached_aggregate(max_sent_cache_, now, [&] {
     double m = 0;
-    for (const auto& f : flows_) m = std::max(m, f.sent(now));
+    const std::size_t n = flows_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      m = std::max(m, pool_.sent(i, now));
+    }
     return m;
   });
 }
 
 double CoflowState::total_remaining(SimTime now) const {
   double rem = 0;
-  for (const auto& f : flows_) rem += f.remaining(now);
+  const std::size_t n = flows_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    rem += pool_.size_bytes[i] - pool_.sent(i, now);
+  }
   return rem;
 }
 
@@ -292,11 +320,11 @@ void CoflowState::restore_flow_progress(std::size_t i, double sent_base,
   FlowState& f = flows_[i];
   SAATH_EXPECTS(!f.finished());
   SAATH_EXPECTS(rate >= 0);
-  const Rate before = f.rate_;
-  f.sent_base_ = sent_base;
-  f.rate_ = rate;
-  f.anchor_ = anchor;
-  f.predicted_finish_ = predicted_finish;
+  const Rate before = pool_.rate[i];
+  pool_.sent_base[i] = sent_base;
+  pool_.rate[i] = rate;
+  pool_.anchor[i] = anchor;
+  pool_.predicted_finish[i] = predicted_finish;
   f.note_mutation(before, rate);
 }
 

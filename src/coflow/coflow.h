@@ -16,9 +16,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "coflow/flow_pool.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "common/units.h"
@@ -49,36 +51,51 @@ struct CoflowSpec {
 class CoflowState;
 
 /// Mutable per-flow simulation state with lazy (closed-form) progress.
+///
+/// Since the SoA pass this is an index-backed *handle*: the hot trajectory
+/// scalars live in the owning CoflowState's FlowPool (parallel arrays,
+/// slot = the flow's position in flows()), and every accessor forwards to
+/// one array element with unchanged arithmetic — trajectory values are
+/// bit-identical to the old interleaved layout. Only cold bookkeeping
+/// (ids, stamps, the resume stash) stays inline.
 class FlowState {
  public:
-  /// `origin` anchors the flow's timeline (its CoFlow's arrival); a
+  /// Standalone (unit-test / manual-drive) flow: owns a private 1-slot
+  /// pool. `origin` anchors the flow's timeline (its CoFlow's arrival); a
   /// zero-byte flow is predicted to finish right there.
   FlowState(FlowId id, const FlowSpec& spec, SimTime origin = 0);
+  /// Pool-backed handle over slot `index` of `pool` (CoflowState's
+  /// constructor); initializes the slot's size/anchor/predicted-finish.
+  FlowState(FlowId id, const FlowSpec& spec, SimTime origin, FlowPool* pool,
+            std::uint32_t index);
+  FlowState(FlowState&&) noexcept = default;
+  FlowState& operator=(FlowState&&) noexcept = default;
 
   [[nodiscard]] FlowId id() const { return id_; }
   [[nodiscard]] PortIndex src() const { return src_; }
   [[nodiscard]] PortIndex dst() const { return dst_; }
-  [[nodiscard]] double size() const { return size_; }
-  [[nodiscard]] bool finished() const { return finished_; }
+  /// Slot in the owning FlowPool == position in CoflowState::flows().
+  [[nodiscard]] std::uint32_t pool_index() const { return index_; }
+  [[nodiscard]] double size() const { return pool_->size_bytes[index_]; }
+  [[nodiscard]] bool finished() const { return pool_->finished[index_] != 0; }
   [[nodiscard]] SimTime finish_time() const { return finish_time_; }
 
   /// Bytes sent as of `now`, computed from the last rate change; queries
   /// before the anchor return the base (progress never runs backwards).
   /// Inline: this is the hottest read in every scheduler's queue pass.
   [[nodiscard]] double sent(SimTime now) const {
-    if (rate_ <= 0 || now <= anchor_) return finished_ ? size_ : sent_base_;
-    return std::min(size_, sent_base_ + rate_ * to_seconds(now - anchor_));
+    return pool_->sent(index_, now);
   }
-  [[nodiscard]] double remaining(SimTime now) const { return size_ - sent(now); }
+  [[nodiscard]] double remaining(SimTime now) const { return size() - sent(now); }
 
-  [[nodiscard]] Rate rate() const { return rate_; }
+  [[nodiscard]] Rate rate() const { return pool_->rate[index_]; }
 
   /// Checkpoint capture: the raw trajectory fields (bytes folded at the
   /// last rate change and its instant). Together with rate() and
   /// predicted_finish() these are the exact bits a resumed run restores
   /// via CoflowState::restore_flow_progress.
-  [[nodiscard]] double sent_base() const { return sent_base_; }
-  [[nodiscard]] SimTime anchor() const { return anchor_; }
+  [[nodiscard]] double sent_base() const { return pool_->sent_base[index_]; }
+  [[nodiscard]] SimTime anchor() const { return pool_->anchor[index_]; }
 
   /// Changes the rate at `now`: folds progress accrued at the old rate into
   /// the base, re-anchors, bumps the rate version (invalidating any queued
@@ -91,11 +108,15 @@ class FlowState {
   /// Absolute µs instant this flow finishes at its current rate (ceil'd to
   /// the µs grid, at least 1µs after the rate change); kNever when the rate
   /// is zero and bytes remain.
-  [[nodiscard]] SimTime predicted_finish() const { return predicted_finish_; }
+  [[nodiscard]] SimTime predicted_finish() const {
+    return pool_->predicted_finish[index_];
+  }
 
   /// Bumped on every rate change / completion / restart. Completion events
   /// snapshot it; a mismatch at pop time marks the event stale.
-  [[nodiscard]] std::uint64_t rate_version() const { return rate_version_; }
+  [[nodiscard]] std::uint64_t rate_version() const {
+    return pool_->rate_version[index_];
+  }
 
   /// Marks the flow complete at `now` (engine computes the exact instant).
   void complete(SimTime now);
@@ -122,22 +143,17 @@ class FlowState {
   /// transition (unsigned-wrap arithmetic handles the restore rollback).
   void sync_version(std::uint64_t old_version, std::uint64_t new_version);
 
-  // Field order is deliberate: the first cache line holds everything the
-  // per-epoch scheduler passes read (sent()/rate()/finished() over tens of
-  // thousands of flows); rate-change-only bookkeeping sits behind it.
+  // The handle proper: pool slot first (every hot accessor reads these two
+  // then exactly one pool array element); cold rate-change-only
+  // bookkeeping behind it. The trajectory scalars themselves live in the
+  // pool's parallel arrays.
+  FlowPool* pool_ = nullptr;
+  std::uint32_t index_ = 0;
   FlowId id_;
   PortIndex src_;
   PortIndex dst_;
-  double size_;
-  double sent_base_ = 0;            // bytes sent as of anchor_
-  Rate rate_ = 0;
-  SimTime anchor_ = 0;              // time of the last rate change / fold
-  SimTime predicted_finish_ = kNever;
-  bool finished_ = false;
-  // --- cold from here: touched only on rate changes / completion ---
   CoflowState* owner_ = nullptr;    // set by CoflowState's constructor
   SimTime finish_time_ = kNever;
-  std::uint64_t rate_version_ = 0;
   std::uint64_t touch_stamp_ = 0;
   std::uint64_t heap_stamp_ = ~std::uint64_t{0};
   /// Trajectory stashed by an epoch-start zeroing, restored bit-exactly if
@@ -149,6 +165,9 @@ class FlowState {
   Rate resume_rate_ = 0;
   SimTime resume_pf_ = kNever;
   std::uint64_t resume_version_ = 0;
+  /// Standalone (test-constructed) flows own their private 1-slot pool;
+  /// pool-backed flows leave this empty and point at their CoFlow's pool.
+  std::unique_ptr<FlowPool> own_pool_;
 };
 
 /// How many unfinished flows a CoFlow has on a given port.
@@ -184,6 +203,12 @@ class CoflowState {
 
   [[nodiscard]] std::span<FlowState> flows() { return flows_; }
   [[nodiscard]] std::span<const FlowState> flows() const { return flows_; }
+
+  /// The SoA trajectory arrays behind flows() (slot i == flows()[i]), for
+  /// dense read-only walks (aggregate sums, maxmin demand gathers, the
+  /// backfill join). Mutation still goes through FlowState so version and
+  /// cache bookkeeping stay coherent.
+  [[nodiscard]] const FlowPool& pool() const { return pool_; }
 
   [[nodiscard]] bool finished() const { return unfinished_ == 0; }
   [[nodiscard]] int unfinished_flows() const { return unfinished_; }
@@ -360,6 +385,9 @@ class CoflowState {
   }
 
   CoflowSpec spec_;
+  /// Declared before flows_: the handles point into it. Allocated once in
+  /// the constructor, never reallocated (handle stability).
+  FlowPool pool_;
   std::vector<FlowState> flows_;
   std::vector<PortLoad> senders_;
   std::vector<PortLoad> receivers_;

@@ -1,0 +1,29 @@
+#include "common/alloc_probe.h"
+
+#include <atomic>
+
+namespace saath {
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_deallocs{0};
+
+}  // namespace
+
+void debug_note_alloc() noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void debug_note_dealloc() noexcept {
+  g_deallocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t debug_alloc_count() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t debug_dealloc_count() noexcept {
+  return g_deallocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace saath

@@ -40,6 +40,21 @@ struct MaxMinDemand {
     std::span<const MaxMinDemand> demands, std::span<const Rate> send_caps,
     std::span<const Rate> recv_caps);
 
+namespace detail {
+/// The two interchangeable water-level cores, exposed for the bit-identity
+/// test (tests/maxmin_path_test.cc). `rates` must be pre-zeroed, one slot
+/// per demand. maxmin_fair_rates dispatches between them by port count;
+/// their outputs are bitwise identical on every input.
+void solve_waterlevel_heap(std::span<const MaxMinDemand> demands,
+                           std::span<const Rate> send_caps,
+                           std::span<const Rate> recv_caps,
+                           std::span<Rate> rates);
+void solve_waterlevel_dense(std::span<const MaxMinDemand> demands,
+                            std::span<const Rate> send_caps,
+                            std::span<const Rate> recv_caps,
+                            std::span<Rate> rates);
+}  // namespace detail
+
 /// Pool-parallel variant: partitions the demands into connected port
 /// components (a send port and a recv port are connected when some demand
 /// uses both; disjoint components share no water level) and solves each

@@ -18,16 +18,24 @@ double allocate_greedy_fair(CoflowState& c, Fabric& fabric,
   // zero: a sub-epsilon rate moves no meaningful bytes but would still
   // churn the flow's rate version — and with it trajectory_version()
   // memoization and the crossing heap — every epoch.
-  for (const auto& load : c.sender_loads()) {
+  // Each sender slot's flows come from the CSR slot list (ascending flow
+  // index — the same order the old filtered full scan visited them) with
+  // the trajectory reads on the dense pool arrays.
+  const auto flows = c.flows();
+  const FlowPool& pool = c.pool();
+  const auto loads = c.sender_loads();
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    const auto& load = loads[s];
     if (load.unfinished_flows == 0) continue;
     const Rate share = fabric.send_remaining(load.port) / load.unfinished_flows;
     if (share <= Fabric::kRateEpsilon) continue;
-    for (auto& f : c.flows()) {
-      if (f.finished() || f.src() != load.port) continue;
+    for (const std::uint32_t i : c.sender_slot_flows(s)) {
+      if (pool.finished[i]) continue;
+      FlowState& f = flows[i];
       const Rate r = std::min(share, fabric.recv_remaining(f.dst()));
       if (r <= Fabric::kRateEpsilon) continue;
-      rates.set(c, f, f.rate() + r);
-      fabric.consume(f.src(), f.dst(), r);
+      rates.set(c, f, pool.rate[i] + r);
+      fabric.consume(load.port, f.dst(), r);
       granted += r;
     }
   }
@@ -39,15 +47,21 @@ bool allocate_madd(CoflowState& c, Fabric& fabric, RateAssignment& rates) {
   // Effective bottleneck Γ against remaining budgets: max over ports of
   // (remaining bytes the CoFlow must push through the port) / (budget).
   double gamma = 0;
+  const FlowPool& pool = c.pool();
   for (int side = 0; side < 2; ++side) {
     const auto loads = side == 0 ? c.sender_loads() : c.receiver_loads();
-    for (const auto& load : loads) {
+    for (std::size_t s = 0; s < loads.size(); ++s) {
+      const auto& load = loads[s];
       if (load.unfinished_flows == 0) continue;
       double bytes = 0;
-      for (const auto& f : c.flows()) {
-        if (f.finished()) continue;
-        const PortIndex p = side == 0 ? f.src() : f.dst();
-        if (p == load.port) bytes += f.remaining(now);
+      // CSR slot list: the slot's flows in ascending index order — the
+      // same sequence (and therefore the same sum) as the old filtered
+      // scan over all flows.
+      const auto slot_flows =
+          side == 0 ? c.sender_slot_flows(s) : c.receiver_slot_flows(s);
+      for (const std::uint32_t i : slot_flows) {
+        if (pool.finished[i]) continue;
+        bytes += pool.remaining_of(i, now);
       }
       const Rate budget = side == 0 ? fabric.send_remaining(load.port)
                                     : fabric.recv_remaining(load.port);

@@ -124,8 +124,10 @@ double total_bytes_cross_seconds(const CoflowState& c, double bound,
     return std::numeric_limits<double>::infinity();
   }
   double total_rate = 0;
-  for (const auto& f : c.flows()) {
-    if (!f.finished()) total_rate += f.rate();
+  const FlowPool& pool = c.pool();
+  const std::size_t n = pool.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!pool.finished[i]) total_rate += pool.rate[i];
   }
   if (total_rate <= 0) return std::numeric_limits<double>::infinity();
   return (bound - c.total_sent(now)) / total_rate;
@@ -146,7 +148,21 @@ void QueueCrossingHeap::program(CoflowState* c, SimTime at, std::uint64_t traj,
   }
   l.at = at;
   l.seq = ++next_seq_;  // invalidates any armed heap item
-  if (at != kNever) heap_.push({at, c->id(), l.seq});
+  if (at != kNever) pending_.push_back({at, c->id(), l.seq});
+}
+
+void QueueCrossingHeap::flush() const {
+  if (pending_.empty()) return;
+  if (pending_.size() * 8 >= heap_.size() + pending_.size()) {
+    heap_.insert(heap_.end(), pending_.begin(), pending_.end());
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  } else {
+    for (const Item& item : pending_) {
+      heap_.push_back(item);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+  }
+  pending_.clear();
 }
 
 bool QueueCrossingHeap::current(CoflowId id, std::uint64_t traj,
@@ -165,17 +181,20 @@ std::size_t QueueCrossingHeap::programmed() const {
 }
 
 SimTime QueueCrossingHeap::next() const {
+  flush();
   while (!heap_.empty()) {
-    const Item& top = heap_.top();
+    const Item& top = heap_.front();
     const auto it = live_.find(top.id);
     if (it != live_.end() && it->second.seq == top.seq) return top.at;
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
   return kNever;
 }
 
 void QueueCrossingHeap::clear() {
-  heap_ = {};
+  heap_.clear();
+  pending_.clear();
   live_.clear();
   next_seq_ = 0;
 }

@@ -22,9 +22,10 @@
 // flow of every CoFlow, and schedule_valid_until() reads the top in O(1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
-#include <queue>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -169,9 +170,12 @@ class QueueCrossingHeap {
   /// Pops every CoFlow whose crossing is due (<= now) into `fn(CoflowState*)`.
   template <typename Fn>
   void pop_due(SimTime now, Fn&& fn) {
-    while (!heap_.empty() && heap_.top().at <= now) {
-      const Item top = heap_.top();
-      heap_.pop();
+    for (;;) {
+      flush();  // fn may re-program crossings mid-drain
+      if (heap_.empty() || heap_.front().at > now) return;
+      const Item top = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
       const auto it = live_.find(top.id);
       if (it == live_.end() || it->second.seq != top.seq) continue;  // stale
       CoflowState* c = it->second.state;
@@ -203,9 +207,17 @@ class QueueCrossingHeap {
     int queue = 0;
   };
 
-  /// Mutable so next() can prune stale tops from const context
-  /// (schedule_valid_until is const).
-  mutable std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  /// Folds the pending program() batch into the heap: one make_heap
+  /// rebuild when the batch is large relative to the heap, per-item sifts
+  /// otherwise. Safe to defer — among comparator-equal items only the
+  /// live seq survives the pop-side check, so batch order is unobservable.
+  void flush() const;
+
+  /// Sifted min-heap (front = earliest) + the unbatched program() tail.
+  /// Mutable so next()/flush() can run from const context
+  /// (schedule_valid_until is const); both keep capacity across epochs.
+  mutable std::vector<Item> heap_;
+  mutable std::vector<Item> pending_;
   std::unordered_map<CoflowId, Live> live_;
   std::uint64_t next_seq_ = 0;
 };

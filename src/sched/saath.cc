@@ -32,11 +32,17 @@ using Clock = std::chrono::steady_clock;
                                             SimTime now) {
   double cross = std::numeric_limits<double>::infinity();
   if (!std::isfinite(bound)) return cross;
-  for (const auto& f : c.flows()) {
-    if (f.finished() || f.rate() <= 0 || f.size() < bound) continue;
-    const double sent = f.sent(now);
+  // Dense walk over the SoA pool (same order and arithmetic as the old
+  // per-handle loop, so the crossing instants are bit-identical).
+  const FlowPool& pool = c.pool();
+  const std::size_t n = pool.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pool.finished[i] || pool.rate[i] <= 0 || pool.size_bytes[i] < bound) {
+      continue;
+    }
+    const double sent = pool.sent(i, now);
     if (sent >= bound) continue;
-    cross = std::min(cross, (bound - sent) / f.rate());
+    cross = std::min(cross, (bound - sent) / pool.rate[i]);
   }
   return cross;
 }
@@ -74,9 +80,11 @@ double SaathScheduler::dynamics_remaining_estimate(const CoflowState& coflow,
   // Remaining of flow i is estimated as (f_e - sent_i)+; the CoFlow's
   // remaining work m_c is the max since the CCT tracks the last flow.
   double m_c = 0;
-  for (const auto& f : coflow.flows()) {
-    if (f.finished()) continue;
-    m_c = std::max(m_c, std::max(0.0, f_e - f.sent(now)));
+  const FlowPool& pool = coflow.pool();
+  const std::size_t n = pool.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pool.finished[i]) continue;
+    m_c = std::max(m_c, std::max(0.0, f_e - pool.sent(i, now)));
   }
   return m_c;
 }
@@ -274,8 +282,11 @@ Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric,
 void SaathScheduler::replay_equal_rate(CoflowState& c, Rate rate,
                                        Fabric& fabric,
                                        RateAssignment& rates) const {
-  for (auto& f : c.flows()) {
-    if (f.finished()) continue;
+  const auto flows = c.flows();
+  const FlowPool& pool = c.pool();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool.finished[i]) continue;
+    FlowState& f = flows[i];
     rates.set(c, f, rate);
     fabric.consume(f.src(), f.dst(), rate);
   }
@@ -454,13 +465,20 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
             for (const CoflowId id : backfill_ids_) backfill_set_.insert(id);
           }
         }
-        const auto try_alloc = [&](CoflowState* c, FlowState& f) {
-          if (f.finished()) return;
-          const Rate r = std::min(fabric.send_remaining(f.src()),
-                                  fabric.recv_remaining(f.dst()));
+        // Pool-indexed: the walk reads only the dense finished/src/dst/rate
+        // lanes (most visits exit on the epsilon check without ever loading
+        // a FlowState handle); the handle is materialized only for the rare
+        // flow that actually receives budget. Same checks, same arithmetic,
+        // same visit order — the allocation stream is unchanged.
+        const auto try_alloc = [&](CoflowState* c, const FlowPool& pool,
+                                   std::uint32_t i) {
+          if (pool.finished[i]) return;
+          const Rate r = std::min(fabric.send_remaining(pool.src[i]),
+                                  fabric.recv_remaining(pool.dst[i]));
           if (r <= Fabric::kRateEpsilon) return;
-          rates.set(*c, f, f.rate() + r);
-          fabric.consume(f.src(), f.dst(), r);
+          FlowState& f = c->flows()[i];
+          rates.set(*c, f, pool.rate[i] + r);
+          fabric.consume(pool.src[i], pool.dst[i], r);
           if (conserve_track) conserve_cache_.push_back({c, &f, r});
         };
         const auto any_live_slot = [&fabric](std::span<const PortLoad> loads,
@@ -475,6 +493,7 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
           return false;
         };
         for (CoflowState* c : missed) {
+          const FlowPool& pool = c->pool();
           if (indexed) {
             if (fabric.send_live().empty() || fabric.recv_live().empty()) {
               break;
@@ -520,7 +539,7 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
                     continue;
                   }
                   for (const std::uint32_t i : c->sender_slot_flows(s)) {
-                    if (fabric.recv_is_live(c->flows()[i].dst())) {
+                    if (fabric.recv_is_live(pool.dst[i])) {
                       backfill_flow_idx_.push_back(i);
                     }
                   }
@@ -532,7 +551,7 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
                     continue;
                   }
                   for (const std::uint32_t i : c->receiver_slot_flows(s)) {
-                    if (fabric.send_is_live(c->flows()[i].src())) {
+                    if (fabric.send_is_live(pool.src[i])) {
                       backfill_flow_idx_.push_back(i);
                     }
                   }
@@ -542,13 +561,14 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
               stats_.backfill_flows +=
                   static_cast<std::int64_t>(backfill_flow_idx_.size());
               for (const std::uint32_t i : backfill_flow_idx_) {
-                try_alloc(c, c->flows()[i]);
+                try_alloc(c, pool, i);
               }
               continue;
             }
             stats_.backfill_flows += static_cast<std::int64_t>(listed);
           }
-          for (auto& f : c->flows()) try_alloc(c, f);
+          const auto n = static_cast<std::uint32_t>(pool.size());
+          for (std::uint32_t i = 0; i < n; ++i) try_alloc(c, pool, i);
         }
       }
       conserve_cache_valid_ = conserve_track;
@@ -614,9 +634,10 @@ void SaathScheduler::conserve_sharded(Fabric& fabric, RateAssignment& rates,
         if (slot < 0) continue;
         const std::uint64_t rank_bits =
             static_cast<std::uint64_t>(c->conserve_rank) << 32;
+        const FlowPool& cpool = c->pool();
         for (const std::uint32_t i :
              c->sender_slot_flows(static_cast<std::size_t>(slot))) {
-          if (fabric.recv_is_live(c->flows()[i].dst())) {
+          if (fabric.recv_is_live(cpool.dst[i])) {
             buf.push_back(rank_bits | i);
           }
         }
@@ -652,15 +673,16 @@ void SaathScheduler::conserve_sharded(Fabric& fabric, RateAssignment& rates,
       ++stats_.backfill_candidates;
     }
     CoflowState* c = missed[static_cast<std::size_t>(rank)];
-    FlowState& f =
-        c->flows()[static_cast<std::size_t>(best_v & 0xFFFFFFFFull)];
+    const FlowPool& pool = c->pool();
+    const auto i = static_cast<std::uint32_t>(best_v & 0xFFFFFFFFull);
     ++stats_.backfill_flows;
-    if (f.finished()) continue;
-    const Rate r = std::min(fabric.send_remaining(f.src()),
-                            fabric.recv_remaining(f.dst()));
+    if (pool.finished[i]) continue;
+    const Rate r = std::min(fabric.send_remaining(pool.src[i]),
+                            fabric.recv_remaining(pool.dst[i]));
     if (r <= Fabric::kRateEpsilon) continue;
-    rates.set(*c, f, f.rate() + r);
-    fabric.consume(f.src(), f.dst(), r);
+    FlowState& f = c->flows()[i];
+    rates.set(*c, f, pool.rate[i] + r);
+    fabric.consume(pool.src[i], pool.dst[i], r);
     if (conserve_track) conserve_cache_.push_back({c, &f, r});
   }
 }

@@ -5,6 +5,9 @@
 // queues" strawman Saath beats by two orders of magnitude.
 #pragma once
 
+#include <vector>
+
+#include "fabric/maxmin.h"
 #include "sim/scheduler.h"
 
 namespace saath {
@@ -16,6 +19,15 @@ class UcTcpScheduler final : public Scheduler {
   using Scheduler::schedule;
   void schedule(SimTime now, std::span<CoflowState* const> active,
                 Fabric& fabric, RateAssignment& rates) override;
+
+ private:
+  /// Per-epoch scratch, reused across calls so a steady-state epoch only
+  /// reallocates when the live flow population grows past prior capacity.
+  std::vector<MaxMinDemand> demands_;
+  std::vector<FlowState*> flows_;
+  std::vector<CoflowState*> owners_;
+  std::vector<Rate> send_caps_;
+  std::vector<Rate> recv_caps_;
 };
 
 }  // namespace saath

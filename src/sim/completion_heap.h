@@ -1,14 +1,25 @@
-// Min-heap of predicted flow completion instants with lazy invalidation.
+// Min-heap of predicted flow completion instants with lazy invalidation
+// and batched maintenance.
 //
 // Every rate change pushes a fresh event stamped with the flow's rate
 // version; stale events (version mismatch, or the flow already finished)
 // are discarded when they surface at the top. Finding the next completion
 // and harvesting a batch is O(log F) per event instead of a scan over every
 // flow of every active CoFlow.
+//
+// Pushes are *batched*: an epoch's touched events collect in a pending
+// buffer and are folded into the heap at the next query — one O(n)
+// make_heap rebuild when the batch is large relative to the heap, N sifts
+// otherwise. This is observably identical to eager per-push sifting:
+// among comparator-equal events (same instant, same flow) at most one can
+// be valid (the stamp dedup admits one event per rate version and only one
+// version is current), and popping a stale event has no side effects — so
+// the sequence of *valid* pops is fully determined by the comparator, not
+// by the heap's internal layout.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "coflow/coflow.h"
@@ -27,14 +38,15 @@ class CompletionHeap {
     flow->set_heap_stamp(flow->rate_version());
     const SimTime at = flow->predicted_finish();
     if (at == kNever) return false;
-    heap_.push({at, flow->rate_version(), flow, coflow});
+    pending_.push_back({at, flow->rate_version(), flow, coflow});
     return true;
   }
 
   /// Earliest still-valid completion instant; kNever when none is queued.
   [[nodiscard]] SimTime next_time() {
+    flush();
     prune();
-    return heap_.empty() ? kNever : heap_.top().time;
+    return heap_.empty() ? kNever : heap_.front().time;
   }
 
   /// Pops every valid event with time <= `at`, invoking fn(coflow, flow)
@@ -43,33 +55,37 @@ class CompletionHeap {
   template <typename Fn>
   void pop_due(SimTime at, Fn&& fn) {
     for (;;) {
+      flush();  // fn may have queued follow-on events
       prune();
-      if (heap_.empty() || heap_.top().time > at) return;
-      const Event ev = heap_.top();
-      heap_.pop();
+      if (heap_.empty() || heap_.front().time > at) return;
+      const Event ev = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
       fn(*ev.coflow, *ev.flow);
     }
   }
 
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  void clear() { heap_ = {}; }
+  [[nodiscard]] std::size_t size() const {
+    return heap_.size() + pending_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    return heap_.empty() && pending_.empty();
+  }
+  void clear() {
+    heap_.clear();
+    pending_.clear();
+  }
 
   /// Removes every event whose owning CoFlow satisfies `dying` (pointer
   /// identity only — nothing of a dying CoFlow is dereferenced). The
   /// engine's streaming reclamation calls this right before destroying
   /// finished CoflowStates, so no stale event can later dereference a freed
-  /// flow in prune()/the comparator. O(n) rebuild.
+  /// flow in prune()/the comparator. O(n) filter + rebuild.
   template <typename Pred>
   void purge_coflows(Pred&& dying) {
-    std::vector<Event> keep;
-    keep.reserve(heap_.size());
-    while (!heap_.empty()) {
-      if (!dying(heap_.top().coflow)) keep.push_back(heap_.top());
-      heap_.pop();
-    }
-    heap_ = std::priority_queue<Event, std::vector<Event>, Later>(
-        Later{}, std::move(keep));
+    std::erase_if(heap_, [&](const Event& ev) { return dying(ev.coflow); });
+    std::erase_if(pending_, [&](const Event& ev) { return dying(ev.coflow); });
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
   }
 
  private:
@@ -92,11 +108,35 @@ class CompletionHeap {
     return ev.flow->finished() || ev.version != ev.flow->rate_version();
   }
 
-  void prune() {
-    while (!heap_.empty() && stale(heap_.top())) heap_.pop();
+  /// Folds the pending batch in: one make_heap rebuild when the batch is
+  /// at least an eighth of the combined size (O(n) beats k·O(log n)
+  /// there), per-event sifts for small trickles.
+  void flush() {
+    if (pending_.empty()) return;
+    if (pending_.size() * 8 >= heap_.size() + pending_.size()) {
+      heap_.insert(heap_.end(), pending_.begin(), pending_.end());
+      std::make_heap(heap_.begin(), heap_.end(), Later{});
+    } else {
+      for (const Event& ev : pending_) {
+        heap_.push_back(ev);
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+      }
+    }
+    pending_.clear();
   }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void prune() {
+    while (!heap_.empty() && stale(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  /// heap_ holds the sifted events (front = min), pending_ the unbatched
+  /// tail; both vectors keep their capacity across epochs (no per-epoch
+  /// allocation in steady state).
+  std::vector<Event> heap_;
+  std::vector<Event> pending_;
 };
 
 }  // namespace saath

@@ -7,7 +7,6 @@
 #include <stdexcept>
 #include <string>
 #include <tuple>
-#include <unordered_set>
 #include <utility>
 
 #include "common/expect.h"
@@ -452,11 +451,13 @@ void Engine::reclaim_finished() {
   // set that could reference their flows. Purge the completion heap's stale
   // events (pointer identity only), then free.
   if (config_.event_driven) {
-    std::unordered_set<const CoflowState*> dying;
-    dying.reserve(graveyard_.size());
-    for (const auto& c : graveyard_) dying.insert(c.get());
-    heap_.purge_coflows(
-        [&dying](const CoflowState* c) { return dying.count(c) > 0; });
+    dying_scratch_.clear();
+    for (const auto& c : graveyard_) dying_scratch_.push_back(c.get());
+    std::sort(dying_scratch_.begin(), dying_scratch_.end());
+    heap_.purge_coflows([this](const CoflowState* c) {
+      return std::binary_search(dying_scratch_.begin(), dying_scratch_.end(),
+                                c);
+    });
   }
   stats_.reclaimed_coflows += static_cast<std::int64_t>(graveyard_.size());
   graveyard_.clear();

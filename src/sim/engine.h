@@ -373,6 +373,9 @@ class Engine {
   /// Finished states awaiting the next safe reclamation point (the end of
   /// the scheduling round that consumes their completion delta).
   std::vector<std::unique_ptr<CoflowState>> graveyard_;
+  /// Reclamation scratch (sorted dying pointers), reused across calls so
+  /// reclaim_finished() allocates nothing in steady state.
+  std::vector<const CoflowState*> dying_scratch_;
   std::vector<CoflowState*> active_;
   /// Appended freely pre-run; sorted by time once at run() start.
   std::vector<DynamicsEvent> dynamics_;

@@ -1,0 +1,168 @@
+// Steady-state zero-allocation contract (ISSUE 8 / S2): once warm, a
+// scheduling epoch over a fixed flow population must perform NO heap
+// allocations in the epoch-cycled structures — RateAssignment's touched
+// set, SchedulerDelta's dirty/requeue lists, CompletionHeap and
+// QueueCrossingHeap. All of them recycle vector capacity across epochs.
+//
+// This binary (and only this binary) replaces the global operator
+// new/delete with counting shims over malloc/free, so an allocation
+// anywhere in the measured window is caught regardless of which layer
+// performed it. Each test warms its structure until capacities stabilize,
+// snapshots the counter, runs many more epochs, and asserts a zero delta.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+#include "common/alloc_probe.h"
+#include "coflow/coflow.h"
+#include "sim/completion_heap.h"
+#include "sim/rate_assignment.h"
+#include "sim/scheduler.h"
+#include "sched/order_index.h"
+#include "test_util.h"
+
+// --------------------------------------------------------------------------
+// Counting global allocator. Plain (unaligned) forms only: FlowPool's
+// cache-aligned lanes go through the align_val_t overloads, which keep
+// their library defaults — pool allocation happens at CoFlow construction,
+// never inside an epoch, and mixing is safe because each form pairs with
+// its own delete.
+
+void* operator new(std::size_t n) {
+  saath::debug_note_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) {
+  saath::debug_note_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept {
+  saath::debug_note_dealloc();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept {
+  saath::debug_note_dealloc();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  saath::debug_note_dealloc();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::size_t) noexcept {
+  saath::debug_note_dealloc();
+  std::free(p);
+}
+
+namespace saath {
+namespace {
+
+using testing::make_coflow;
+
+constexpr int kWarmupEpochs = 64;
+constexpr int kMeasuredEpochs = 256;
+
+/// Runs `epoch(e)` for warmup epochs, snapshots the allocation counter,
+/// runs the measured epochs, and returns the allocation delta.
+template <typename Fn>
+std::uint64_t measure_steady_allocs(Fn&& epoch) {
+  for (int e = 0; e < kWarmupEpochs; ++e) epoch(e);
+  const std::uint64_t before = debug_alloc_count();
+  for (int e = kWarmupEpochs; e < kWarmupEpochs + kMeasuredEpochs; ++e) {
+    epoch(e);
+  }
+  return debug_alloc_count() - before;
+}
+
+TEST(AllocSteady, ProbeCountsThisBinarysAllocations) {
+  const std::uint64_t before = debug_alloc_count();
+  auto* p = new int(7);
+  EXPECT_GT(debug_alloc_count(), before);
+  const std::uint64_t freed_before = debug_dealloc_count();
+  delete p;
+  EXPECT_GT(debug_dealloc_count(), freed_before);
+}
+
+TEST(AllocSteady, RateAssignmentTouchedSetRecyclesCapacity) {
+  CoflowState c(make_coflow(0, 0,
+                            {{0, 1, 1000000000000}, {1, 2, 1000000000000}, {2, 0, 1000000000000},
+                             {0, 2, 1000000000000}, {1, 0, 1000000000000}, {2, 1, 1000000000000}}),
+                FlowId{0});
+  RateAssignment rates(/*num_ports=*/3);
+  CoflowState* const cp = &c;
+
+  const std::uint64_t delta = measure_steady_allocs([&](int e) {
+    rates.begin_epoch(seconds(e));
+    // Alternate rates so every set() is a genuine touch, not a no-op.
+    const Rate r = (e % 2) == 0 ? 100.0 : 50.0;
+    for (auto& f : cp->flows()) rates.set(*cp, f, r);
+  });
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocSteady, SchedulerDeltaMarksRecycleCapacity) {
+  CoflowState c(make_coflow(0, 0, {{0, 1, 1000000000000}, {1, 0, 1000000000000}}), FlowId{0});
+  SchedulerDelta delta_set;
+  delta_set.full = false;
+
+  const std::uint64_t delta = measure_steady_allocs([&](int) {
+    for (int i = 0; i < 8; ++i) delta_set.mark(&c);
+    for (int i = 0; i < 4; ++i) delta_set.mark_requeue(&c);
+    delta_set.clear_marks();
+  });
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocSteady, CompletionHeapPushAndPruneRecycleCapacity) {
+  CoflowState c(make_coflow(0, 0,
+                            {{0, 1, 1000000000000}, {1, 2, 1000000000000}, {2, 0, 1000000000000},
+                             {0, 2, 1000000000000}}),
+                FlowId{0});
+  CompletionHeap heap;
+  CoflowState* const cp = &c;
+
+  const std::uint64_t delta = measure_steady_allocs([&](int e) {
+    // Every epoch re-rates every flow (new rate version), pushes the fresh
+    // event, and queries next_time() — which flushes the pending batch and
+    // prunes newly stale events off the top — then drains everything due,
+    // exercising the full flush/prune/pop cycle on recycled capacity.
+    const Rate r = (e % 2) == 0 ? 100.0 : 50.0;
+    for (auto& f : cp->flows()) {
+      f.set_rate(r, seconds(e));
+      heap.push(&f, cp);
+    }
+    (void)heap.next_time();
+    heap.pop_due(std::numeric_limits<SimTime>::max() / 2,
+                 [](CoflowState&, FlowState&) {});
+  });
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(AllocSteady, QueueCrossingHeapReprogramRecyclesCapacity) {
+  CoflowState c0(make_coflow(0, 0, {{0, 1, 1000000000000}}), FlowId{0});
+  CoflowState c1(make_coflow(1, 0, {{1, 2, 1000000000000}}), FlowId{1});
+  QueueCrossingHeap heap;
+
+  const std::uint64_t delta = measure_steady_allocs([&](int e) {
+    // Steady-state re-rates re-derive each CoFlow's crossing instant and
+    // re-program it: the live_ node is reused (same id), the superseded
+    // heap items go stale and prune at the top of next().
+    heap.program(&c0, seconds(e + 1), /*traj=*/static_cast<std::uint64_t>(e),
+                 /*queue=*/0);
+    heap.program(&c1, seconds(e + 2), /*traj=*/static_cast<std::uint64_t>(e),
+                 /*queue=*/1);
+    (void)heap.next();
+  });
+  EXPECT_EQ(delta, 0u);
+}
+
+}  // namespace
+}  // namespace saath
