@@ -12,8 +12,8 @@
 //   # Capture/replay + crash recovery (all digest-gated in CI):
 //   $ ./saath_sim --scenario=steady-churn --record=run.journal --digest
 //   $ ./saath_sim --replay=run.journal --digest
-//   $ ./saath_sim --scenario=steady-churn --record=run.journal \
-//       --checkpoint=run.ckpt --checkpoint-at=40 --digest
+//   $ ./saath_sim --scenario=steady-churn --record=run.journal
+//         --checkpoint=run.ckpt --checkpoint-at=40 --digest
 //   $ ./saath_sim --replay=run.journal --resume=run.ckpt --digest
 //   $ ./saath_sim --scenario=steady-churn --inject --digest
 //
@@ -259,6 +259,7 @@ int main(int argc, char** argv) {
       if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
       return {};
     };
+    std::string v;  // --flag=value payload of the branch that matched
     if (arg == "--list") return list_scenarios(false);
     if (arg == "--list-names") return list_scenarios(true);
     if (arg == "--stream") {
@@ -274,42 +275,42 @@ int main(int argc, char** argv) {
         direct.plan.storm_every = 50;
         direct.plan.storm_size = 8;
       }
-    } else if (auto v = value_of("--inject-dup"); !v.empty()) {
+    } else if (!(v = value_of("--inject-dup")).empty()) {
       direct.inject = true;
       direct.plan.duplicate_p = std::atof(v.c_str());
-    } else if (auto v = value_of("--inject-malformed"); !v.empty()) {
+    } else if (!(v = value_of("--inject-malformed")).empty()) {
       direct.inject = true;
       direct.plan.malformed_p = std::atof(v.c_str());
-    } else if (auto v = value_of("--inject-storm"); !v.empty()) {
+    } else if (!(v = value_of("--inject-storm")).empty()) {
       direct.inject = true;
       direct.plan.storm_every = std::atoi(v.c_str());
       if (direct.plan.storm_size == 0) direct.plan.storm_size = 8;
-    } else if (auto v = value_of("--inject-flaps"); !v.empty()) {
+    } else if (!(v = value_of("--inject-flaps")).empty()) {
       direct.inject = true;
       direct.plan.flap_cycles = std::atoi(v.c_str());
-    } else if (auto v = value_of("--inject-seed"); !v.empty()) {
+    } else if (!(v = value_of("--inject-seed")).empty()) {
       direct.plan.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
-    } else if (auto v = value_of("--record"); !v.empty()) {
+    } else if (!(v = value_of("--record")).empty()) {
       direct.record_path = v;
-    } else if (auto v = value_of("--replay"); !v.empty()) {
+    } else if (!(v = value_of("--replay")).empty()) {
       direct.replay_path = v;
-    } else if (auto v = value_of("--resume"); !v.empty()) {
+    } else if (!(v = value_of("--resume")).empty()) {
       direct.resume_path = v;
-    } else if (auto v = value_of("--checkpoint"); !v.empty()) {
+    } else if (!(v = value_of("--checkpoint")).empty()) {
       direct.checkpoint_path = v;
-    } else if (auto v = value_of("--checkpoint-every"); !v.empty()) {
+    } else if (!(v = value_of("--checkpoint-every")).empty()) {
       direct.checkpoint_every = std::atoll(v.c_str());
-    } else if (auto v = value_of("--checkpoint-at"); !v.empty()) {
+    } else if (!(v = value_of("--checkpoint-at")).empty()) {
       direct.checkpoint_at = std::atoll(v.c_str());
-    } else if (auto v = value_of("--scenario"); !v.empty()) {
+    } else if (!(v = value_of("--scenario")).empty()) {
       scenario = v;
-    } else if (auto v = value_of("--scheduler"); !v.empty()) {
+    } else if (!(v = value_of("--scheduler")).empty()) {
       scheduler = v;
-    } else if (auto v = value_of("--jobs"); !v.empty()) {
+    } else if (!(v = value_of("--jobs")).empty()) {
       jobs = std::atoi(v.c_str());
-    } else if (auto v = value_of("--repeat"); !v.empty()) {
+    } else if (!(v = value_of("--repeat")).empty()) {
       repeat = std::atoi(v.c_str());
-    } else if (auto v = value_of("--seed-stride"); !v.empty()) {
+    } else if (!(v = value_of("--seed-stride")).empty()) {
       seed_stride = std::atoll(v.c_str());
     } else if (arg == "--set" && i + 1 < argc) {
       const std::string kv = argv[++i];

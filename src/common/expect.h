@@ -26,6 +26,33 @@ namespace saath::detail {
 
 }  // namespace saath::detail
 
+// ---------------------------------------------------------------------------
+// Hot-path attribute macros. These are behavior-neutral (attributes only
+// affect optimizer placement, never results) but they are also *markers* the
+// static lint (tools/lint/saath_lint.py) keys on:
+//
+//  - SAATH_HOT marks a function as optimizer-hot (block placement, inlining
+//    budget). No lint contract — hot functions may allocate scratch.
+//  - SAATH_HOT_NOALLOC additionally asserts the steady-state allocation
+//    contract (tests/alloc_steady_test.cc checks it at runtime): the lint's
+//    `hot-alloc` check statically rejects `new` / make_unique / make_shared /
+//    malloc and growth calls on function-local containers that were never
+//    `reserve`d inside the annotated body. Member containers are exempt —
+//    they recycle capacity across epochs, which is exactly what the runtime
+//    probe verifies.
+//  - SAATH_COLD marks error/report paths so they stay out of hot I-cache.
+//
+// Place the macro at the start of the function *definition* (before the
+// return type); the lint associates the contract with the body that follows.
+#if defined(__GNUC__) || defined(__clang__)
+#define SAATH_HOT [[gnu::hot]]
+#define SAATH_COLD [[gnu::cold]]
+#else
+#define SAATH_HOT
+#define SAATH_COLD
+#endif
+#define SAATH_HOT_NOALLOC SAATH_HOT
+
 #define SAATH_EXPECTS(cond)                                                  \
   ((cond) ? void(0)                                                          \
           : ::saath::detail::contract_violation("precondition", #cond,       \

@@ -68,10 +68,10 @@ namespace detail {
 // heap (event-queue) formulation — kept as the bit-identity oracle for
 // solve_waterlevel_dense, which replaces the heaps with dense per-round
 // level scans the compiler can vectorize.
-void solve_waterlevel_heap(std::span<const MaxMinDemand> demands,
-                           std::span<const Rate> send_caps,
-                           std::span<const Rate> recv_caps,
-                           std::span<Rate> rates) {
+SAATH_HOT void solve_waterlevel_heap(std::span<const MaxMinDemand> demands,
+                                     std::span<const Rate> send_caps,
+                                     std::span<const Rate> recv_caps,
+                                     std::span<Rate> rates) {
   SAATH_EXPECTS(!send_caps.empty());
   SAATH_EXPECTS(send_caps.size() == recv_caps.size());
   SAATH_EXPECTS(rates.size() == demands.size());
@@ -211,10 +211,10 @@ void solve_waterlevel_heap(std::span<const MaxMinDemand> demands,
 //    active·0, and the active decrements commute.
 // The payoff: the per-round inner loops stream four dense double arrays
 // (no pointer-chased buckets, no heap sifts) and auto-vectorize.
-void solve_waterlevel_dense(std::span<const MaxMinDemand> demands,
-                            std::span<const Rate> send_caps,
-                            std::span<const Rate> recv_caps,
-                            std::span<Rate> rates) {
+SAATH_HOT void solve_waterlevel_dense(std::span<const MaxMinDemand> demands,
+                                      std::span<const Rate> send_caps,
+                                      std::span<const Rate> recv_caps,
+                                      std::span<Rate> rates) {
   SAATH_EXPECTS(!send_caps.empty());
   SAATH_EXPECTS(send_caps.size() == recv_caps.size());
   SAATH_EXPECTS(rates.size() == demands.size());
@@ -408,8 +408,8 @@ std::vector<Rate> maxmin_fair_rates(std::span<const MaxMinDemand> demands,
     SAATH_EXPECTS(d.dst >= 0 && static_cast<std::size_t>(d.dst) < num_ports);
     if (d.cap > 0 && d.cap <= 1e-12) continue;
     const std::uint32_t a = find(static_cast<std::uint32_t>(d.src));
-    const std::uint32_t b =
-        find(static_cast<std::uint32_t>(num_ports + d.dst));
+    const std::uint32_t b = find(
+        static_cast<std::uint32_t>(num_ports + static_cast<std::size_t>(d.dst)));
     if (a != b) uf[b] = a;
   }
 

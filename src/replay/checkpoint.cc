@@ -78,7 +78,9 @@ void write_coflow(std::ostream& out, const CoflowSnapshot& cs) {
   }
   out << '\n';
   for (const FlowSnapshot& fs : cs.flows) {
-    line = "F";
+    // operator=(char), not operator=(const char*): GCC 12's -Wrestrict
+    // misfires on the latter when inlined into this loop (GCC PR105329).
+    line = 'F';
     append_double(line, fs.sent_base);
     append_double(line, fs.rate);
     line += ' ' + std::to_string(fs.anchor) + ' ' +

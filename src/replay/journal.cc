@@ -56,20 +56,28 @@ void append_double(std::string& line, double v) {
   return tok;
 }
 
+/// Appends " <tok>". Split +='s (char, then token) rather than a
+/// `" " + tok` temporary: GCC 12's -Wrestrict misfires on the inlined
+/// operator+(const char*, string&&) path (GCC PR105329).
+void append_token(std::string& line, const std::string& tok) {
+  line += ' ';
+  line += tok;
+}
+
 void write_config(std::string& line, const SimConfig& c) {
-  line += "C";
+  line += 'C';
   append_double(line, c.port_bandwidth);
-  line += " " + std::to_string(c.delta);
-  line += " " + std::to_string(static_cast<int>(c.reallocate_on_completion));
-  line += " " + std::to_string(static_cast<int>(c.check_capacity));
-  line += " " + std::to_string(static_cast<int>(c.skip_quiescent_epochs));
-  line += " " + std::to_string(static_cast<int>(c.event_driven));
-  line += " " + std::to_string(static_cast<int>(c.record_results));
-  line += " " + std::to_string(c.max_sim_time);
-  line += " " + std::to_string(c.parallel_shards);
-  line += " " + std::to_string(c.max_stall_epochs);
-  line += " " + std::to_string(c.max_requeue_attempts);
-  line += " " + std::to_string(static_cast<int>(c.strict_input));
+  append_token(line, std::to_string(c.delta));
+  append_token(line, std::to_string(static_cast<int>(c.reallocate_on_completion)));
+  append_token(line, std::to_string(static_cast<int>(c.check_capacity)));
+  append_token(line, std::to_string(static_cast<int>(c.skip_quiescent_epochs)));
+  append_token(line, std::to_string(static_cast<int>(c.event_driven)));
+  append_token(line, std::to_string(static_cast<int>(c.record_results)));
+  append_token(line, std::to_string(c.max_sim_time));
+  append_token(line, std::to_string(c.parallel_shards));
+  append_token(line, std::to_string(c.max_stall_epochs));
+  append_token(line, std::to_string(c.max_requeue_attempts));
+  append_token(line, std::to_string(static_cast<int>(c.strict_input)));
 }
 
 [[nodiscard]] SimConfig read_config(std::istringstream& ss,

@@ -62,7 +62,7 @@ CoflowState* OrderIndex::state_of(CoflowId id) const {
   return by_id_.at(id)->second;
 }
 
-std::size_t OrderIndex::materialize() {
+SAATH_HOT_NOALLOC std::size_t OrderIndex::materialize() {
   if (!dirty_all_ && !dirty_any_) return cached_.size();
   std::size_t prefix = 0;
   Map::const_iterator resume = order_.begin();
@@ -118,8 +118,8 @@ SimTime guarded_crossing_instant(SimTime now, double cross_seconds) {
   return now + std::max<SimTime>(0, dt - 1 - (dt >> 40));
 }
 
-double total_bytes_cross_seconds(const CoflowState& c, double bound,
-                                 SimTime now) {
+SAATH_HOT_NOALLOC double total_bytes_cross_seconds(const CoflowState& c,
+                                                   double bound, SimTime now) {
   if (!std::isfinite(bound)) {
     return std::numeric_limits<double>::infinity();
   }
@@ -133,8 +133,9 @@ double total_bytes_cross_seconds(const CoflowState& c, double bound,
   return (bound - c.total_sent(now)) / total_rate;
 }
 
-void QueueCrossingHeap::program(CoflowState* c, SimTime at, std::uint64_t traj,
-                                int queue) {
+SAATH_HOT_NOALLOC void QueueCrossingHeap::program(CoflowState* c, SimTime at,
+                                                  std::uint64_t traj,
+                                                  int queue) {
   SAATH_EXPECTS(c != nullptr);
   const auto [it, inserted] = live_.try_emplace(c->id());
   Live& l = it->second;
@@ -151,7 +152,7 @@ void QueueCrossingHeap::program(CoflowState* c, SimTime at, std::uint64_t traj,
   if (at != kNever) pending_.push_back({at, c->id(), l.seq});
 }
 
-void QueueCrossingHeap::flush() const {
+SAATH_HOT_NOALLOC void QueueCrossingHeap::flush() const {
   if (pending_.empty()) return;
   if (pending_.size() * 8 >= heap_.size() + pending_.size()) {
     heap_.insert(heap_.end(), pending_.begin(), pending_.end());
@@ -180,7 +181,7 @@ std::size_t QueueCrossingHeap::programmed() const {
   return n;
 }
 
-SimTime QueueCrossingHeap::next() const {
+SAATH_HOT_NOALLOC SimTime QueueCrossingHeap::next() const {
   flush();
   while (!heap_.empty()) {
     const Item& top = heap_.front();

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "coflow/coflow.h"
+#include "common/expect.h"
 #include "common/ids.h"
 #include "common/time.h"
 
@@ -169,7 +170,7 @@ class QueueCrossingHeap {
 
   /// Pops every CoFlow whose crossing is due (<= now) into `fn(CoflowState*)`.
   template <typename Fn>
-  void pop_due(SimTime now, Fn&& fn) {
+  SAATH_HOT_NOALLOC void pop_due(SimTime now, Fn&& fn) {
     for (;;) {
       flush();  // fn may re-program crossings mid-drain
       if (heap_.empty() || heap_.front().at > now) return;

@@ -258,8 +258,8 @@ bool SaathScheduler::all_ports_available(const CoflowState& c,
   return true;
 }
 
-Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric,
-                                         RateAssignment& rates) const {
+SAATH_HOT_NOALLOC Rate SaathScheduler::allocate_equal_rate(
+    CoflowState& c, Fabric& fabric, RateAssignment& rates) const {
   // D2: max-min share at each port is budget / (c's flows there); the
   // CoFlow-wide rate is the minimum share — speeding any flow beyond the
   // slowest cannot improve the CCT.
@@ -279,9 +279,8 @@ Rate SaathScheduler::allocate_equal_rate(CoflowState& c, Fabric& fabric,
   return rate;
 }
 
-void SaathScheduler::replay_equal_rate(CoflowState& c, Rate rate,
-                                       Fabric& fabric,
-                                       RateAssignment& rates) const {
+SAATH_HOT_NOALLOC void SaathScheduler::replay_equal_rate(
+    CoflowState& c, Rate rate, Fabric& fabric, RateAssignment& rates) const {
   const auto flows = c.flows();
   const FlowPool& pool = c.pool();
   for (std::size_t i = 0; i < pool.size(); ++i) {
@@ -310,7 +309,8 @@ OrderKey SaathScheduler::make_key(const CoflowState& c, SimTime now,
   return k;
 }
 
-void SaathScheduler::program_crossing(CoflowState& c, SimTime now) {
+SAATH_HOT_NOALLOC void SaathScheduler::program_crossing(CoflowState& c,
+                                                        SimTime now) {
   if (c.finished() || is_volatile(c)) {
     // Volatile CoFlows are re-bucketed every round regardless (the §4.3
     // estimate drifts continuously); a crossing entry would be noise.
@@ -332,10 +332,9 @@ void SaathScheduler::program_crossing(CoflowState& c, SimTime now) {
                      c.queue_index);
 }
 
-void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
-                                        RateAssignment& rates,
-                                        std::size_t first_dirty_rank,
-                                        bool allow_replay) {
+SAATH_HOT_NOALLOC void SaathScheduler::admit_and_conserve(
+    SimTime now, Fabric& fabric, RateAssignment& rates,
+    std::size_t first_dirty_rank, bool allow_replay) {
   (void)now;
   const auto ordered = order_.ordered();
   const auto t1 = Clock::now();
@@ -584,9 +583,9 @@ void SaathScheduler::admit_and_conserve(SimTime now, Fabric& fabric,
   admit_capacity_version_ = fabric.capacity_version();
 }
 
-void SaathScheduler::conserve_sharded(Fabric& fabric, RateAssignment& rates,
-                                      std::span<CoflowState* const> missed,
-                                      bool conserve_track) {
+SAATH_HOT_NOALLOC void SaathScheduler::conserve_sharded(
+    Fabric& fabric, RateAssignment& rates,
+    std::span<CoflowState* const> missed, bool conserve_track) {
   // Byte-identity argument. (1) Budgets only shrink during the walk, so
   // epoch-start liveness over-approximates liveness at any flow's turn:
   // the gathered candidate set is a superset of every flow the serial walk

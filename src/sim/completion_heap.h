@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "coflow/coflow.h"
+#include "common/expect.h"
 
 namespace saath {
 
@@ -32,7 +33,7 @@ class CompletionHeap {
   /// when the flow is finished, cannot finish at its current rate, or this
   /// rate version is already queued (the heap stamp — without it, every
   /// quiescent reassignment would flood the heap with duplicate events).
-  bool push(FlowState* flow, CoflowState* coflow) {
+  SAATH_HOT_NOALLOC bool push(FlowState* flow, CoflowState* coflow) {
     if (flow->finished()) return false;
     if (flow->heap_stamp() == flow->rate_version()) return false;
     flow->set_heap_stamp(flow->rate_version());
@@ -43,7 +44,7 @@ class CompletionHeap {
   }
 
   /// Earliest still-valid completion instant; kNever when none is queued.
-  [[nodiscard]] SimTime next_time() {
+  [[nodiscard]] SAATH_HOT_NOALLOC SimTime next_time() {
     flush();
     prune();
     return heap_.empty() ? kNever : heap_.front().time;
@@ -53,7 +54,7 @@ class CompletionHeap {
   /// for each; events invalidated by fn's side effects (the completion
   /// bumps the flow's rate version) are discarded on the way.
   template <typename Fn>
-  void pop_due(SimTime at, Fn&& fn) {
+  SAATH_HOT_NOALLOC void pop_due(SimTime at, Fn&& fn) {
     for (;;) {
       flush();  // fn may have queued follow-on events
       prune();
@@ -111,7 +112,7 @@ class CompletionHeap {
   /// Folds the pending batch in: one make_heap rebuild when the batch is
   /// at least an eighth of the combined size (O(n) beats k·O(log n)
   /// there), per-event sifts for small trickles.
-  void flush() {
+  SAATH_HOT_NOALLOC void flush() {
     if (pending_.empty()) return;
     if (pending_.size() * 8 >= heap_.size() + pending_.size()) {
       heap_.insert(heap_.end(), pending_.begin(), pending_.end());
@@ -125,7 +126,7 @@ class CompletionHeap {
     pending_.clear();
   }
 
-  void prune() {
+  SAATH_HOT_NOALLOC void prune() {
     while (!heap_.empty() && stale(heap_.front())) {
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
       heap_.pop_back();

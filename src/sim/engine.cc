@@ -408,7 +408,7 @@ void Engine::process_dynamics() {
   }
 }
 
-void Engine::compute_schedule() {
+SAATH_HOT_NOALLOC void Engine::compute_schedule() {
   const auto t0 = Clock::now();
   ++rounds_;
   fabric_.reset();
@@ -443,7 +443,7 @@ void Engine::compute_schedule() {
   stats_.schedule_ns += ns_since(t0);
 }
 
-void Engine::reclaim_finished() {
+SAATH_HOT_NOALLOC void Engine::reclaim_finished() {
   // Safe point (see header): the delta naming these CoFlows was consumed by
   // the schedule() call above, Saath/Aalo erased them from their maintained
   // structures (by id / at the hook), the admission-replay fences already
@@ -514,7 +514,7 @@ void Engine::verify_capacity() const {
 #endif
 }
 
-void Engine::push_completion_events(CoflowState& coflow) {
+SAATH_HOT_NOALLOC void Engine::push_completion_events(CoflowState& coflow) {
   if (!config_.event_driven) return;
   for (auto& f : coflow.flows()) {
     if (!f.finished() && f.predicted_finish() != kNever &&
@@ -789,7 +789,7 @@ void Engine::restore_snapshot(const EngineSnapshot& snap) {
   schedule_dirty_ = true;
 }
 
-SimTime Engine::next_completion() {
+SAATH_HOT_NOALLOC SimTime Engine::next_completion() {
   if (config_.event_driven) return heap_.next_time();
   // Oracle: scan every flow of every active CoFlow for the earliest
   // predicted finish — the pre-heap behavior, O(F) per micro-step.
@@ -805,7 +805,8 @@ SimTime Engine::next_completion() {
   return best;
 }
 
-void Engine::complete_flow(CoflowState& coflow, FlowState& flow, SimTime at) {
+SAATH_HOT_NOALLOC void Engine::complete_flow(CoflowState& coflow,
+                                             FlowState& flow, SimTime at) {
   rates_.flow_stopped(flow);
   coflow.on_flow_complete(flow, at);
   scheduler_.on_flow_complete(coflow, flow, at);
@@ -814,7 +815,7 @@ void Engine::complete_flow(CoflowState& coflow, FlowState& flow, SimTime at) {
   ++stats_.flow_completions;
 }
 
-void Engine::harvest_completions(SimTime at) {
+SAATH_HOT_NOALLOC void Engine::harvest_completions(SimTime at) {
   bool any = false;
   if (config_.event_driven) {
     heap_.pop_due(at, [&](CoflowState& c, FlowState& f) {
@@ -860,6 +861,7 @@ void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
   rec.total_bytes = coflow.spec().total_bytes();
   rec.equal_flow_lengths = trace::has_equal_flow_lengths(coflow.spec());
   rec.flow_fcts_seconds.reserve(coflow.flows().size());
+  rec.flow_sizes.reserve(coflow.flows().size());
   for (const auto& f : coflow.flows()) {
     rec.flow_fcts_seconds.push_back(to_seconds(f.finish_time() - coflow.arrival()));
     rec.flow_sizes.push_back(f.size());
@@ -882,7 +884,7 @@ void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
   }
 }
 
-void Engine::advance_until(SimTime epoch_end) {
+SAATH_HOT_NOALLOC void Engine::advance_until(SimTime epoch_end) {
   auto t0 = Clock::now();
   SimTime t = now_;
   while (!active_.empty()) {

@@ -174,12 +174,12 @@ INSTANTIATE_TEST_SUITE_P(
                       ParityParam{2, "sebf"}, ParityParam{1, "uc-tcp"},
                       ParityParam{1, "srtf"}, ParityParam{1, "scf"},
                       ParityParam{1, "lwtf"}),
-    [](const ::testing::TestParamInfo<ParityParam>& info) {
-      std::string name = info.param.scheduler;
+    [](const ::testing::TestParamInfo<ParityParam>& pinfo) {
+      std::string name = pinfo.param.scheduler;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + "_seed" + std::to_string(info.param.seed);
+      return name + "_seed" + std::to_string(pinfo.param.seed);
     });
 
 /// Builds an engine loaded with the full §4.3 churn menu: node failures,

@@ -1,0 +1,23 @@
+// LINT-AS: src/fabric/bad_float.cc
+//
+// Seeded violations for the digest-float check: single-precision storage
+// and an explicit fused multiply-add in digest-bearing code. Both produce
+// results that vary across toolchains/arch levels, forking the replay
+// digests (the tree compiles with -ffp-contract=off for the same reason).
+//
+// Not compiled — fed to `saath_lint.py --self-test` under the LINT-AS path.
+#include <cmath>
+
+namespace saath {
+
+double shave(double a, double b, double c) {
+  float narrowed = 0.25f;  // EXPECT-LINT: digest-float
+  (void)narrowed;
+  return std::fma(a, b, c);  // EXPECT-LINT: digest-float
+}
+
+double fine(double a, double b, double c) {
+  return std::fmax(a * b + c, 0.0);  // fmax is not fma: not flagged
+}
+
+}  // namespace saath

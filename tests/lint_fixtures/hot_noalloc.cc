@@ -1,0 +1,44 @@
+// LINT-AS: src/sim/bad_hot.cc
+//
+// Seeded violations for the hot-noalloc check: allocations and
+// unreserved local-container growth inside a SAATH_HOT_NOALLOC function.
+// The negative cases (reserved local, reference-to-member view, member
+// scratch) must NOT be flagged — they are exactly the idioms the real
+// hot paths use.
+//
+// Not compiled — fed to `saath_lint.py --self-test` under the LINT-AS path.
+#include <memory>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace saath {
+
+class BadHot {
+ public:
+  SAATH_HOT_NOALLOC void drain() {
+    int* raw = new int[64];  // EXPECT-LINT: hot-noalloc
+    auto owned = std::make_unique<int>(7);  // EXPECT-LINT: hot-noalloc
+    std::vector<int> spill;
+    spill.push_back(1);  // EXPECT-LINT: hot-noalloc
+    std::vector<int> bounded;
+    bounded.reserve(8);
+    bounded.push_back(2);  // reserved in-body: not flagged
+    std::vector<int>& view = scratch_;
+    view.push_back(3);  // reference binding to member scratch: not flagged
+    scratch_.push_back(4);  // member scratch (capacity recycled): not flagged
+    (void)owned;
+    delete[] raw;
+  }
+
+  void cold_setup() {
+    // Unannotated function: allocation is fine here.
+    staging_.push_back(new int(0));
+  }
+
+ private:
+  std::vector<int> scratch_;
+  std::vector<int*> staging_;
+};
+
+}  // namespace saath

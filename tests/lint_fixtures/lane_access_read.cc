@@ -1,0 +1,25 @@
+// LINT-AS: src/sim/bad_lane_read.cc
+//
+// Seeded violation for saath_lint's lane-access check: a FlowPool lane
+// read from a file that is NOT one of the audited dense-walk consumers.
+// Also proves SAATH_LINT_OK suppression is honored (the anchor read below
+// carries a reasoned suppression and must NOT be reported).
+//
+// Not compiled — fed to `saath_lint.py --self-test` under the LINT-AS path.
+#include <cstddef>
+
+#include "coflow/flow_pool.h"
+
+namespace saath {
+
+double sum_rates(const FlowPool& pool) {
+  double total = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    total += pool.rate[i];  // EXPECT-LINT: lane-access
+  }
+  // SAATH_LINT_OK(lane-access): fixture proving a reasoned waiver is honored
+  total += pool.anchor[0];
+  return total;
+}
+
+}  // namespace saath

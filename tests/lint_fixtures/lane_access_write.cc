@@ -1,0 +1,24 @@
+// LINT-AS: src/sched/alloc.cc
+//
+// Seeded violation: lane WRITES are forbidden everywhere outside
+// src/coflow/ — even in a file that is allowlisted for dense-walk reads
+// (this fixture masquerades as src/sched/alloc.cc, an audited reader).
+// Lanes alias FlowState fields; a stray write desyncs the AoS view.
+//
+// Not compiled — fed to `saath_lint.py --self-test` under the LINT-AS path.
+#include <cstddef>
+
+#include "coflow/flow_pool.h"
+
+namespace saath {
+
+void clobber(FlowPool& pool, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.rate[i] = 0.0;  // EXPECT-LINT: lane-access
+  }
+  pool.sent_base[0] += 1.0;  // EXPECT-LINT: lane-access
+  const double peek = pool.rate[0];  // allowlisted read: not flagged
+  (void)peek;
+}
+
+}  // namespace saath

@@ -1,0 +1,33 @@
+// LINT-AS: src/sched/bad_sched.h
+//
+// Seeded violation: a Scheduler subclass retaining raw CoflowState*/
+// FlowState* data members that are not on the audited-scratch allowlist.
+// The engine's streaming reclamation frees finished CoflowStates after
+// each round's result-sink flush, so these members dangle across rounds.
+//
+// Not compiled — fed to `saath_lint.py --self-test` under the LINT-AS path.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace saath {
+
+class StickyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "sticky"; }
+
+  using Scheduler::schedule;
+  void schedule(SimTime now, std::span<CoflowState* const> active,
+                Fabric& fabric, RateAssignment& rates) override;
+
+ private:
+  CoflowState* last_winner_ = nullptr;  // EXPECT-LINT: scheduler-retention
+  std::vector<FlowState*> pinned_;      // EXPECT-LINT: scheduler-retention
+  std::vector<int> histogram_;  // pointer-free member: not flagged
+};
+
+}  // namespace saath

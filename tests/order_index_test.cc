@@ -344,14 +344,14 @@ INSTANTIATE_TEST_SUITE_P(
         ModeParam{7, "saath-total", true, true},
         ModeParam{7, "aalo", true, true}, ModeParam{7, "aalo", false, true},
         ModeParam{21, "aalo", true, true}),
-    [](const ::testing::TestParamInfo<ModeParam>& info) {
-      std::string name = info.param.scheduler;
+    [](const ::testing::TestParamInfo<ModeParam>& pinfo) {
+      std::string name = pinfo.param.scheduler;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + "_seed" + std::to_string(info.param.seed) +
-             (info.param.skip ? "_skip" : "_noskip") +
-             (info.param.event ? "_event" : "_oracle");
+      return name + "_seed" + std::to_string(pinfo.param.seed) +
+             (pinfo.param.skip ? "_skip" : "_noskip") +
+             (pinfo.param.event ? "_event" : "_oracle");
     });
 
 // ---------------------------------------------------------------------------

@@ -33,8 +33,10 @@ TEST(ThreadPool, EveryShardRunsExactlyOnce) {
   parallel::ThreadPool pool(4);
   constexpr int kShards = 64;
   std::vector<std::atomic<int>> hits(kShards);
-  pool.parallel_for_shards(kShards, [&](int s) { ++hits[s]; });
-  for (int s = 0; s < kShards; ++s) EXPECT_EQ(hits[s].load(), 1);
+  pool.parallel_for_shards(kShards,
+                           [&](int s) { ++hits[static_cast<std::size_t>(s)]; });
+  for (int s = 0; s < kShards; ++s)
+    EXPECT_EQ(hits[static_cast<std::size_t>(s)].load(), 1);
 }
 
 TEST(ThreadPool, BarrierReusableAcrossJobsAndShardCounts) {
@@ -57,8 +59,10 @@ TEST(ThreadPool, MoreShardsThanWorkersLosesNoWork) {
   parallel::ThreadPool pool(2);
   constexpr int kShards = 100;
   std::vector<std::atomic<int>> hits(kShards);
-  pool.parallel_for_shards(kShards, [&](int s) { ++hits[s]; });
-  for (int s = 0; s < kShards; ++s) EXPECT_EQ(hits[s].load(), 1);
+  pool.parallel_for_shards(kShards,
+                           [&](int s) { ++hits[static_cast<std::size_t>(s)]; });
+  for (int s = 0; s < kShards; ++s)
+    EXPECT_EQ(hits[static_cast<std::size_t>(s)].load(), 1);
 }
 
 TEST(ThreadPool, SingleWorkerRunsOnCallerThread) {
@@ -118,7 +122,8 @@ void expect_valid_partition(const PortPartition& part, int num_ports,
       ++seen[static_cast<std::size_t>(p)];
     }
   }
-  for (int p = 0; p < num_ports; ++p) EXPECT_EQ(seen[p], 1) << "port " << p;
+  for (int p = 0; p < num_ports; ++p)
+    EXPECT_EQ(seen[static_cast<std::size_t>(p)], 1) << "port " << p;
 }
 
 TEST(PortPartition, EveryPortInExactlyOneShard) {
@@ -148,10 +153,12 @@ TEST(PortPartition, StableAcrossFabricReset) {
   Fabric fabric(24, 100.0);
   PortPartition before(fabric.num_ports(), 4);
   std::vector<int> shard_before(24);
-  for (int p = 0; p < 24; ++p) shard_before[p] = before.shard_of(p);
+  for (int p = 0; p < 24; ++p)
+    shard_before[static_cast<std::size_t>(p)] = before.shard_of(p);
   fabric.reset();
   PortPartition after(fabric.num_ports(), 4);
-  for (int p = 0; p < 24; ++p) EXPECT_EQ(after.shard_of(p), shard_before[p]);
+  for (int p = 0; p < 24; ++p)
+    EXPECT_EQ(after.shard_of(p), shard_before[static_cast<std::size_t>(p)]);
 }
 
 // --------------------------------------------------- component max-min
@@ -163,8 +170,9 @@ TEST(ParallelMaxMin, MatchesSerialExactlyOnRandomDemands) {
     const int num_ports = 96;
     std::vector<Rate> send_caps(num_ports), recv_caps(num_ports);
     for (int p = 0; p < num_ports; ++p) {
-      send_caps[p] = 50.0 + static_cast<double>(rng() % 1000) / 10.0;
-      recv_caps[p] = 50.0 + static_cast<double>(rng() % 1000) / 10.0;
+      const auto pi = static_cast<std::size_t>(p);
+      send_caps[pi] = 50.0 + static_cast<double>(rng() % 1000) / 10.0;
+      recv_caps[pi] = 50.0 + static_cast<double>(rng() % 1000) / 10.0;
     }
     // Demands clustered into port groups of 12 so the component cut finds
     // real parallelism; a sprinkle of caps (some degenerate) exercises
@@ -173,8 +181,8 @@ TEST(ParallelMaxMin, MatchesSerialExactlyOnRandomDemands) {
     for (int i = 0; i < 600; ++i) {
       const int group = static_cast<int>(rng() % 8);
       MaxMinDemand d;
-      d.src = static_cast<PortIndex>(group * 12 + rng() % 12);
-      d.dst = static_cast<PortIndex>(group * 12 + rng() % 12);
+      d.src = static_cast<PortIndex>(group * 12 + static_cast<int>(rng() % 12));
+      d.dst = static_cast<PortIndex>(group * 12 + static_cast<int>(rng() % 12));
       const int kind = static_cast<int>(rng() % 4);
       if (kind == 1) d.cap = 1.0 + static_cast<double>(rng() % 100);
       if (kind == 2) d.cap = 1e-13;  // degenerate: frozen at rate 0
@@ -258,13 +266,13 @@ INSTANTIATE_TEST_SUITE_P(
                       IdentityParam{"aalo", true, true},
                       IdentityParam{"aalo", false, false},
                       IdentityParam{"uc-tcp", true, true}),
-    [](const ::testing::TestParamInfo<IdentityParam>& info) {
-      std::string name = info.param.scheduler;
+    [](const ::testing::TestParamInfo<IdentityParam>& pinfo) {
+      std::string name = pinfo.param.scheduler;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      name += info.param.skip_quiescent ? "_skip" : "_noskip";
-      name += info.param.event_driven ? "_event" : "_scan";
+      name += pinfo.param.skip_quiescent ? "_skip" : "_noskip";
+      name += pinfo.param.event_driven ? "_event" : "_scan";
       return name;
     });
 

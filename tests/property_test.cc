@@ -106,12 +106,12 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyParam{2, "lwtf"}, PropertyParam{1, "sebf"},
         PropertyParam{2, "sebf"}, PropertyParam{1, "uc-tcp"},
         PropertyParam{2, "uc-tcp"}),
-    [](const ::testing::TestParamInfo<PropertyParam>& info) {
-      std::string name = info.param.scheduler;
+    [](const ::testing::TestParamInfo<PropertyParam>& pinfo) {
+      std::string name = pinfo.param.scheduler;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
-      return name + "_seed" + std::to_string(info.param.seed);
+      return name + "_seed" + std::to_string(pinfo.param.seed);
     });
 
 // Invariant 3: in Saath's primary pass (work conservation off), every
@@ -132,15 +132,15 @@ TEST_P(SaathInvariant, AllOrNoneEqualRatesEveryEpoch) {
                   Fabric& fabric, RateAssignment& rates) override {
       inner_.schedule(now, active, fabric, rates);
       for (const CoflowState* c : active) {
-        std::set<long> rates;
+        std::set<long> rate_set;
         bool any_positive = false;
         for (const auto& f : c->flows()) {
           if (f.finished()) continue;
           if (f.rate() > 0) any_positive = true;
-          rates.insert(std::lround(f.rate() * 1e6));
+          rate_set.insert(std::lround(f.rate() * 1e6));
         }
         if (any_positive) {
-          EXPECT_EQ(rates.size(), 1u)
+          EXPECT_EQ(rate_set.size(), 1u)
               << "coflow " << c->id().value << " has unequal rates";
         }
       }
@@ -507,12 +507,12 @@ INSTANTIATE_TEST_SUITE_P(
         BackfillParam{7, "aalo", false, true, true},
         BackfillParam{7, "aalo", true, false, true},
         BackfillParam{21, "aalo", false, false, true}),
-    [](const ::testing::TestParamInfo<BackfillParam>& info) {
-      std::string name = info.param.scheduler;
-      return name + "_seed" + std::to_string(info.param.seed) +
-             (info.param.skip ? "_skip" : "_noskip") +
-             (info.param.event ? "_event" : "_oracle") +
-             (info.param.order ? "_incorder" : "_fullorder");
+    [](const ::testing::TestParamInfo<BackfillParam>& pinfo) {
+      std::string name = pinfo.param.scheduler;
+      return name + "_seed" + std::to_string(pinfo.param.seed) +
+             (pinfo.param.skip ? "_skip" : "_noskip") +
+             (pinfo.param.event ? "_event" : "_oracle") +
+             (pinfo.param.order ? "_incorder" : "_fullorder");
     });
 
 /// Forwards the engine's precise deltas (so the indexed backfill actually

@@ -215,7 +215,7 @@ TEST(SpatialIndex, RandomEventStreamMatchesOracle) {
     for (int i = 0; i < 5; ++i) add_next();
 
     for (int step = 0; step < 400; ++step) {
-      const int op = rng.uniform_int(0, 9);
+      const int op = static_cast<int>(rng.uniform_int(0, 9));
       if (op <= 1 && next_spec < trace.coflows.size()) {
         add_next();
       } else if (op <= 3 && !tracked.empty()) {
