@@ -31,6 +31,9 @@
 // restores an engine checkpoint and replays the journal suffix; --inject
 // wraps the source in a FaultySource (implies tolerant input); --digest
 // prints the canonical result digest CI compares across runs.
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,12 +41,16 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "replay/checkpoint.h"
 #include "replay/fault.h"
 #include "replay/journal.h"
 #include "sched/factory.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/source.h"
 #include "sim/engine.h"
 #include "workload/scenario.h"
 #include "workload/sink.h"
@@ -241,10 +248,265 @@ int run_direct(const DirectOptions& opt) {
   return 0;
 }
 
+// ---------------------------------------------------------- service modes
+
+struct ServiceModeOptions {
+  bool serve = false;
+  bool client = false;
+  std::string socket;   // --serve listen address
+  std::string connect;  // --client: drive an external daemon instead
+  int ports = 0;        // --serve without --scenario
+  int expect_clients = 1;
+  int split = 1;
+  long long throttle_us = 0;
+  bool compare = false;
+  std::string journal;
+  bool serve_resume = false;
+};
+
+/// The scenario-param config tweaks run_direct applies, shared by the
+/// service modes so the daemon's SimConfig and the offline oracle's are
+/// built through the identical pipeline (digest parity).
+void apply_scenario_param_overrides(SimConfig& cfg,
+                                    workload::ScenarioParams& params) {
+  if (params.get_int("records", 1) == 0) cfg.record_results = false;
+  cfg.parallel_shards =
+      static_cast<int>(params.get_int("shards", cfg.parallel_shards));
+  cfg.max_stall_epochs =
+      static_cast<int>(params.get_int("stall_epochs", cfg.max_stall_epochs));
+  cfg.max_requeue_attempts =
+      static_cast<int>(params.get_int("requeue", cfg.max_requeue_attempts));
+  if (params.get_int("strict_input", 1) == 0) cfg.strict_input = false;
+}
+
+struct OracleRun {
+  std::string digest_hex;
+  SimTime makespan = 0;
+  std::int64_t coflows = 0;
+};
+
+/// Offline in-process run of the scenario — the digest the service-driven
+/// run must reproduce bit-for-bit.
+OracleRun run_oracle(const std::string& scenario, std::string sched_name,
+                     workload::ScenarioParams params) {
+  workload::ScenarioSetup setup = workload::make_scenario(scenario, params);
+  if (sched_name.empty()) sched_name = setup.default_scheduler;
+  SimConfig cfg = setup.config;
+  apply_scheduler_sim_overrides(sched_name, cfg);
+  apply_scenario_param_overrides(cfg, params);
+  auto sched = make_scheduler(sched_name);
+  Engine engine(setup.source, *sched, cfg);
+  workload::CctAggregator agg;
+  engine.set_result_sink(&agg);
+  const SimResult result = engine.run();
+  return {replay::result_digest_hex(result), result.makespan, agg.count()};
+}
+
+int run_serve(const std::string& scenario, const std::string& scheduler,
+              workload::ScenarioParams params, const ServiceModeOptions& svc,
+              const std::string& checkpoint_path, long long checkpoint_every,
+              bool digest) {
+  service::DaemonConfig cfg;
+  cfg.address = svc.socket.empty() ? cfg.address : svc.socket;
+  cfg.scheduler = scheduler;
+  cfg.expect_clients = svc.expect_clients;
+  cfg.journal_path = svc.journal;
+  cfg.checkpoint_path = checkpoint_path;
+  cfg.checkpoint_every_epochs = checkpoint_every;
+  cfg.resume = svc.serve_resume;
+  if (!scenario.empty()) {
+    // Scenario parity: the daemon adopts the scenario's SimConfig, fabric
+    // width, and workload name, so a client driving that scenario's script
+    // reproduces the offline run's digest.
+    workload::ScenarioSetup setup = workload::make_scenario(scenario, params);
+    cfg.sim = setup.config;
+    apply_scenario_param_overrides(cfg.sim, params);
+    cfg.num_ports = setup.source->num_ports();
+    cfg.workload_name = setup.source->name();
+    cfg.seed = params.get_int("seed", 0);
+    if (cfg.scheduler.empty()) cfg.scheduler = setup.default_scheduler;
+  } else {
+    cfg.num_ports = svc.ports;
+  }
+  if (cfg.scheduler.empty()) cfg.scheduler = "saath";
+  if (cfg.num_ports <= 0) {
+    std::fprintf(stderr, "--serve needs --scenario=<name> or --ports=N\n");
+    return 2;
+  }
+  service::ServiceDaemon daemon(cfg);
+  daemon.start();
+  std::printf("saath_serve listening on %s (scheduler %s, %d ports, "
+              "expecting %d client%s)%s\n",
+              daemon.address().c_str(), cfg.scheduler.c_str(), cfg.num_ports,
+              cfg.expect_clients, cfg.expect_clients == 1 ? "" : "s",
+              cfg.resume ? " [resumed]" : "");
+  std::fflush(stdout);
+  const service::ServiceReport rep = daemon.wait();
+  if (!rep.ok) {
+    std::fprintf(stderr, "service run failed: %s\n", rep.error.c_str());
+    return 1;
+  }
+  std::printf("service run drained: %lld coflows  makespan %.3fs\n",
+              static_cast<long long>(rep.completions),
+              to_seconds(rep.makespan));
+  if (digest) std::printf("digest %s\n", rep.digest_hex.c_str());
+  return 0;
+}
+
+int run_client_mode(const std::string& scenario, const std::string& scheduler,
+                    const workload::ScenarioParams& params,
+                    const ServiceModeOptions& svc,
+                    const std::string& checkpoint_path,
+                    long long checkpoint_every, bool digest) {
+  if (scenario.empty()) {
+    std::fprintf(stderr, "--client needs --scenario=<name>\n");
+    return 2;
+  }
+  const int split = svc.split < 1 ? 1 : svc.split;
+  workload::ScenarioParams drive_params = params;
+  workload::ScenarioSetup setup =
+      workload::make_scenario(scenario, drive_params);
+  const std::string sched_name =
+      scheduler.empty() ? setup.default_scheduler : scheduler;
+  SimConfig cfg = setup.config;
+  apply_scenario_param_overrides(cfg, drive_params);
+  const std::string workload_name = setup.source->name();
+  const int ports = setup.source->num_ports();
+
+  std::unique_ptr<service::ServiceDaemon> daemon;
+  std::string address = svc.connect;
+  if (address.empty()) {
+    service::DaemonConfig dc;
+    dc.address =
+        "unix:/tmp/saath_sim_client_" + std::to_string(::getpid()) + ".sock";
+    dc.num_ports = ports;
+    dc.scheduler = sched_name;
+    dc.sim = cfg;
+    dc.expect_clients = split;
+    dc.journal_path = svc.journal;
+    dc.checkpoint_path = checkpoint_path;
+    dc.checkpoint_every_epochs = checkpoint_every;
+    dc.workload_name = workload_name;
+    dc.seed = drive_params.get_int("seed", 0);
+    daemon = std::make_unique<service::ServiceDaemon>(dc);
+    daemon->start();
+    address = daemon->address();
+    std::printf("spawned in-process daemon on %s\n", address.c_str());
+  }
+
+  std::string service_digest;
+  SimTime service_makespan = 0;
+  if (split == 1) {
+    service::ClientOptions co;
+    co.address = address;
+    co.client_name = "c0";
+    co.reactive = true;  // uniform: script sources just drain their DONEs
+    co.throttle_us = svc.throttle_us;
+    service::ServiceClient cl(co);
+    if (!cl.connect(workload_name, ports) || !cl.drive(*setup.source) ||
+        !cl.finish()) {
+      std::fprintf(stderr, "client error: %s\n", cl.report().error.c_str());
+      return 1;
+    }
+    const service::ClientReport& rep = cl.report();
+    std::printf("client c0: sent %lld  accepted %lld  rejected %lld  "
+                "dones %lld\n",
+                static_cast<long long>(rep.sent),
+                static_cast<long long>(rep.accepted),
+                static_cast<long long>(rep.rejected),
+                static_cast<long long>(rep.dones));
+    for (const std::string& rej : rep.reject_lines) {
+      std::fprintf(stderr, "  %s\n", rej.c_str());
+    }
+    service_digest = rep.digest_hex;
+    service_makespan = rep.makespan;
+  } else {
+    // Split drive: materialize the script and partition it — arrivals
+    // round-robin by index, every gate/dynamics event on client 0 (reactive
+    // scenarios cannot be split; drive those with --split=1).
+    std::vector<std::vector<workload::WorkloadEvent>> parts(
+        static_cast<std::size_t>(split));
+    std::int64_t arrivals = 0;
+    while (setup.source->peek_next_time() != kNever) {
+      workload::WorkloadEvent ev = setup.source->next();
+      if (ev.kind == workload::WorkloadEvent::Kind::kArrival) {
+        parts[static_cast<std::size_t>(arrivals++ % split)].push_back(
+            std::move(ev));
+      } else {
+        parts[0].push_back(std::move(ev));
+      }
+    }
+    std::vector<service::ClientReport> reports(
+        static_cast<std::size_t>(split));
+    std::vector<std::thread> threads;
+    for (int i = 0; i < split; ++i) {
+      threads.emplace_back([&, i] {
+        service::ClientOptions co;
+        co.address = address;
+        char cname[16];
+        std::snprintf(cname, sizeof cname, "c%d", i);
+        co.client_name = cname;
+        co.reactive = true;
+        co.throttle_us = svc.throttle_us;
+        service::ServiceClient cl(co);
+        service::VectorSource vs(workload_name, ports,
+                                 std::move(parts[static_cast<std::size_t>(i)]));
+        (void)(cl.connect(workload_name, ports) && cl.drive(vs) &&
+               cl.finish());
+        reports[static_cast<std::size_t>(i)] = cl.report();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int i = 0; i < split; ++i) {
+      const service::ClientReport& rep =
+          reports[static_cast<std::size_t>(i)];
+      if (!rep.ok) {
+        std::fprintf(stderr, "client c%d error: %s\n", i, rep.error.c_str());
+        return 1;
+      }
+      std::printf("client c%d: sent %lld  accepted %lld  rejected %lld  "
+                  "dones %lld\n",
+                  i, static_cast<long long>(rep.sent),
+                  static_cast<long long>(rep.accepted),
+                  static_cast<long long>(rep.rejected),
+                  static_cast<long long>(rep.dones));
+      service_digest = rep.digest_hex;
+      service_makespan = rep.makespan;
+    }
+  }
+
+  if (daemon) {
+    const service::ServiceReport rep = daemon->wait();
+    if (!rep.ok) {
+      std::fprintf(stderr, "daemon run failed: %s\n", rep.error.c_str());
+      return 1;
+    }
+    service_digest = rep.digest_hex;  // authoritative
+    service_makespan = rep.makespan;
+  }
+  std::printf("service makespan %.3fs\n", to_seconds(service_makespan));
+  if (digest) std::printf("digest %s\n", service_digest.c_str());
+
+  if (daemon || svc.compare) {
+    const OracleRun oracle = run_oracle(scenario, scheduler, params);
+    if (oracle.digest_hex != service_digest) {
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH: offline %s vs service %s\n",
+                   oracle.digest_hex.c_str(), service_digest.c_str());
+      return 1;
+    }
+    std::printf("digest match: offline == service (%s, %lld coflows)\n",
+                oracle.digest_hex.c_str(),
+                static_cast<long long>(oracle.coflows));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   DirectOptions direct;
+  ServiceModeOptions svc;
   std::string scenario;
   std::string scheduler;
   bool stream = false;
@@ -296,6 +558,28 @@ int main(int argc, char** argv) {
       direct.replay_path = v;
     } else if (!(v = value_of("--resume")).empty()) {
       direct.resume_path = v;
+    } else if (arg == "--resume") {
+      svc.serve_resume = true;  // bare form: --serve restart mode
+    } else if (arg == "--serve") {
+      svc.serve = true;
+    } else if (arg == "--client") {
+      svc.client = true;
+    } else if (arg == "--compare") {
+      svc.compare = true;
+    } else if (!(v = value_of("--socket")).empty()) {
+      svc.socket = v;
+    } else if (!(v = value_of("--connect")).empty()) {
+      svc.connect = v;
+    } else if (!(v = value_of("--ports")).empty()) {
+      svc.ports = std::atoi(v.c_str());
+    } else if (!(v = value_of("--expect-clients")).empty()) {
+      svc.expect_clients = std::atoi(v.c_str());
+    } else if (!(v = value_of("--split")).empty()) {
+      svc.split = std::atoi(v.c_str());
+    } else if (!(v = value_of("--throttle-us")).empty()) {
+      svc.throttle_us = std::atoll(v.c_str());
+    } else if (!(v = value_of("--journal")).empty()) {
+      svc.journal = v;
     } else if (!(v = value_of("--checkpoint")).empty()) {
       direct.checkpoint_path = v;
     } else if (!(v = value_of("--checkpoint-every")).empty()) {
@@ -331,7 +615,31 @@ int main(int argc, char** argv) {
                    "       [--inject] [--inject-dup=P] [--inject-malformed=P] "
                    "[--inject-storm=N] [--inject-flaps=N] [--inject-seed=S] "
                    "[--digest]\n"
+                   "       | --serve [--socket=ADDR] [--ports=N] "
+                   "[--expect-clients=N] [--journal=FILE] "
+                   "[--checkpoint=FILE --checkpoint-every=N] [--resume]\n"
+                   "       | --client --scenario=<name> [--connect=ADDR] "
+                   "[--split=N] [--throttle-us=N] [--compare]\n"
                    "       | --list | --list-names\n");
+      return 2;
+    }
+  }
+
+  if (svc.serve || svc.client) {
+    if (svc.serve && svc.client) {
+      std::fprintf(stderr, "--serve and --client are exclusive\n");
+      return 2;
+    }
+    try {
+      return svc.serve
+                 ? run_serve(scenario, scheduler, params, svc,
+                             direct.checkpoint_path, direct.checkpoint_every,
+                             direct.digest)
+                 : run_client_mode(scenario, scheduler, params, svc,
+                                   direct.checkpoint_path,
+                                   direct.checkpoint_every, direct.digest);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
   }

@@ -1,0 +1,100 @@
+// Fixed-size log-spaced histogram for streaming percentile estimates.
+//
+// One histogram instance costs O(buckets) memory regardless of how many
+// samples it absorbs, so it is safe to embed in per-run stats blocks and in
+// long-lived service telemetry. Percentiles are approximate with relative
+// error bounded by the bucket ratio (e.g. ~1.2% at ratio 1.025); count, sum,
+// and max are exact. The bucket/percentile math is shared with
+// workload::CctAggregator, which predates this type and must keep emitting
+// bit-identical numbers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace saath {
+
+class LogHistogram {
+ public:
+  /// `floor` is the upper edge of bucket 0; successive buckets grow by
+  /// `ratio`. Samples below floor clamp to bucket 0, samples beyond the last
+  /// bucket clamp to it (their exact max is still tracked).
+  LogHistogram(double floor, double ratio, int buckets)
+      : floor_(floor),
+        log_ratio_(std::log(ratio)),
+        ratio_(ratio),
+        buckets_(static_cast<std::size_t>(buckets), 0) {
+    SAATH_EXPECTS(floor > 0 && ratio > 1 && buckets > 0);
+  }
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Approximate percentile (p in [0, 100]): midpoint (in log space) of the
+  /// bucket where the cumulative count crosses ceil(p/100 * count). Returns
+  /// the exact max when the crossing lands past the last bucket, 0 when
+  /// empty.
+  [[nodiscard]] double percentile(double p) const {
+    SAATH_EXPECTS(p >= 0 && p <= 100);
+    if (count_ == 0) return 0;
+    const auto target = static_cast<std::int64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    std::int64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      seen += buckets_[b];
+      if (seen >= std::max<std::int64_t>(target, 1)) {
+        return floor_ * std::pow(ratio_, static_cast<double>(b) + 0.5);
+      }
+    }
+    return max_;
+  }
+
+  void merge(const LogHistogram& other) {
+    SAATH_EXPECTS(other.buckets_.size() == buckets_.size());
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+  }
+
+  void reset() {
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  }
+
+  [[nodiscard]] int bucket_of(double v) const {
+    if (v <= floor_) return 0;
+    const int b = static_cast<int>(std::log(v / floor_) / log_ratio_);
+    return std::clamp(b, 0, static_cast<int>(buckets_.size()) - 1);
+  }
+
+ private:
+  double floor_;
+  double log_ratio_;
+  double ratio_;
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+  std::vector<std::int64_t> buckets_;
+};
+
+}  // namespace saath

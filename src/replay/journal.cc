@@ -101,23 +101,9 @@ void write_config(std::string& line, const SimConfig& c) {
 
 }  // namespace
 
-// --------------------------------------------------------- RecordingSource
+// ------------------------------------------------------ event-line grammar
 
-RecordingSource::RecordingSource(
-    std::shared_ptr<workload::WorkloadSource> inner, std::ostream& out,
-    const SimConfig& config, std::int64_t seed)
-    : inner_(std::move(inner)), out_(out) {
-  SAATH_EXPECTS(inner_ != nullptr);
-  out_ << "SAATHJ1 " << inner_->num_ports() << ' ' << seed << ' '
-       << inner_->name() << '\n';
-  std::string line;
-  write_config(line, config);
-  out_ << line << '\n';
-  out_.flush();
-}
-
-workload::WorkloadEvent RecordingSource::next() {
-  workload::WorkloadEvent ev = inner_->next();
+std::string format_event_line(const workload::WorkloadEvent& ev) {
   std::string line;
   switch (ev.kind) {
     case workload::WorkloadEvent::Kind::kArrival: {
@@ -148,9 +134,85 @@ workload::WorkloadEvent RecordingSource::next() {
              std::to_string(ev.gated.value);
       break;
   }
+  return line;
+}
+
+std::optional<workload::WorkloadEvent> parse_event_line(
+    const std::string& line, std::int64_t line_no) {
+  if (line.empty()) return std::nullopt;
+  std::istringstream ss(line);
+  std::string tag;
+  ss >> tag;
+  if (tag.empty()) return std::nullopt;
+  workload::WorkloadEvent ev;
+  if (tag == "A") {
+    ev.kind = workload::WorkloadEvent::Kind::kArrival;
+    ev.time = parse_int(take(ss, line_no), line_no);
+    ev.coflow.id = CoflowId{parse_int(take(ss, line_no), line_no)};
+    ev.coflow.job = JobId{parse_int(take(ss, line_no), line_no)};
+    ev.coflow.stage = static_cast<int>(parse_int(take(ss, line_no), line_no));
+    ev.coflow.arrival = parse_int(take(ss, line_no), line_no);
+    ev.data_ready = parse_int(take(ss, line_no), line_no);
+    const std::int64_t n = parse_int(take(ss, line_no), line_no);
+    if (n < 0) {
+      throw std::runtime_error("journal line " + std::to_string(line_no) +
+                               ": negative flow count");
+    }
+    ev.coflow.flows.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      FlowSpec f;
+      f.src = static_cast<PortIndex>(parse_int(take(ss, line_no), line_no));
+      f.dst = static_cast<PortIndex>(parse_int(take(ss, line_no), line_no));
+      f.size = parse_int(take(ss, line_no), line_no);
+      ev.coflow.flows.push_back(f);
+    }
+  } else if (tag == "D") {
+    ev.kind = workload::WorkloadEvent::Kind::kDynamics;
+    ev.time = parse_int(take(ss, line_no), line_no);
+    ev.dynamics.time = ev.time;
+    ev.dynamics.kind =
+        static_cast<DynamicsEvent::Kind>(parse_int(take(ss, line_no), line_no));
+    ev.dynamics.port =
+        static_cast<PortIndex>(parse_int(take(ss, line_no), line_no));
+    ev.dynamics.capacity_factor = parse_double(take(ss, line_no), line_no);
+  } else if (tag == "G") {
+    ev.kind = workload::WorkloadEvent::Kind::kDataAvailable;
+    ev.time = parse_int(take(ss, line_no), line_no);
+    ev.gated = CoflowId{parse_int(take(ss, line_no), line_no)};
+  } else {
+    throw std::runtime_error("journal line " + std::to_string(line_no) +
+                             ": unknown event tag '" + tag + "'");
+  }
+  return ev;
+}
+
+// --------------------------------------------------------- RecordingSource
+
+RecordingSource::RecordingSource(
+    std::shared_ptr<workload::WorkloadSource> inner, std::ostream& out,
+    const SimConfig& config, std::int64_t seed)
+    : inner_(std::move(inner)), out_(out) {
+  SAATH_EXPECTS(inner_ != nullptr);
+  out_ << "SAATHJ1 " << inner_->num_ports() << ' ' << seed << ' '
+       << inner_->name() << '\n';
+  std::string line;
+  write_config(line, config);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+RecordingSource::RecordingSource(
+    std::shared_ptr<workload::WorkloadSource> inner, std::ostream& out,
+    append_mode_t)
+    : inner_(std::move(inner)), out_(out) {
+  SAATH_EXPECTS(inner_ != nullptr);
+}
+
+workload::WorkloadEvent RecordingSource::next() {
+  workload::WorkloadEvent ev = inner_->next();
   // Line-then-flush BEFORE handing the event to the engine: a kill mid-run
   // leaves a journal whose prefix is exactly the consumed stream.
-  out_ << line << '\n';
+  out_ << format_event_line(ev) << '\n';
   out_.flush();
   return ev;
 }
@@ -193,52 +255,10 @@ void ReplaySource::fill() {
   std::string line;
   while (std::getline(in_, line)) {
     ++line_no_;
-    if (line.empty()) continue;
-    std::istringstream ss(line);
-    std::string tag;
-    ss >> tag;
-    workload::WorkloadEvent ev;
-    if (tag == "A") {
-      ev.kind = workload::WorkloadEvent::Kind::kArrival;
-      ev.time = parse_int(take(ss, line_no_), line_no_);
-      ev.coflow.id = CoflowId{parse_int(take(ss, line_no_), line_no_)};
-      ev.coflow.job = JobId{parse_int(take(ss, line_no_), line_no_)};
-      ev.coflow.stage =
-          static_cast<int>(parse_int(take(ss, line_no_), line_no_));
-      ev.coflow.arrival = parse_int(take(ss, line_no_), line_no_);
-      ev.data_ready = parse_int(take(ss, line_no_), line_no_);
-      const std::int64_t n = parse_int(take(ss, line_no_), line_no_);
-      if (n < 0) {
-        throw std::runtime_error("journal line " + std::to_string(line_no_) +
-                                 ": negative flow count");
-      }
-      ev.coflow.flows.reserve(static_cast<std::size_t>(n));
-      for (std::int64_t i = 0; i < n; ++i) {
-        FlowSpec f;
-        f.src = static_cast<PortIndex>(parse_int(take(ss, line_no_), line_no_));
-        f.dst = static_cast<PortIndex>(parse_int(take(ss, line_no_), line_no_));
-        f.size = parse_int(take(ss, line_no_), line_no_);
-        ev.coflow.flows.push_back(f);
-      }
-    } else if (tag == "D") {
-      ev.kind = workload::WorkloadEvent::Kind::kDynamics;
-      ev.time = parse_int(take(ss, line_no_), line_no_);
-      ev.dynamics.time = ev.time;
-      ev.dynamics.kind = static_cast<DynamicsEvent::Kind>(
-          parse_int(take(ss, line_no_), line_no_));
-      ev.dynamics.port =
-          static_cast<PortIndex>(parse_int(take(ss, line_no_), line_no_));
-      ev.dynamics.capacity_factor = parse_double(take(ss, line_no_), line_no_);
-    } else if (tag == "G") {
-      ev.kind = workload::WorkloadEvent::Kind::kDataAvailable;
-      ev.time = parse_int(take(ss, line_no_), line_no_);
-      ev.gated = CoflowId{parse_int(take(ss, line_no_), line_no_)};
-    } else {
-      throw std::runtime_error("journal line " + std::to_string(line_no_) +
-                               ": unknown event tag '" + tag + "'");
+    if (auto ev = parse_event_line(line, line_no_)) {
+      next_ = std::move(*ev);
+      return;
     }
-    next_ = std::move(ev);
-    return;
   }
 }
 

@@ -42,11 +42,31 @@ namespace saath::replay {
 /// Wraps a workload source, journaling every event it emits to `out`
 /// (caller-owned, must outlive the source). The header (ports, seed,
 /// config, name) is written at construction; every event line is flushed.
+/// Serializes one workload event as its journal line (A/D/G grammar above,
+/// no trailing newline). This is the one formatter for the event grammar —
+/// the service wire protocol reuses it, so a client message IS a journal
+/// line and the daemon's journal IS a transcript of accepted messages.
+[[nodiscard]] std::string format_event_line(const workload::WorkloadEvent& ev);
+
+/// Parses one event line. Returns nullopt for a blank line; throws
+/// std::runtime_error naming `line_no` on a malformed or unknown record.
+[[nodiscard]] std::optional<workload::WorkloadEvent> parse_event_line(
+    const std::string& line, std::int64_t line_no);
+
 class RecordingSource final : public workload::WorkloadSource {
  public:
   RecordingSource(std::shared_ptr<workload::WorkloadSource> inner,
                   std::ostream& out, const SimConfig& config,
                   std::int64_t seed);
+
+  /// Append mode for daemon restarts: journals events WITHOUT writing a
+  /// header — `out` must be an existing SAATHJ1 journal opened for append,
+  /// so snapshot::source_events_consumed stays a valid cursor into the
+  /// combined (old prefix + appended suffix) stream across repeated crashes.
+  struct append_mode_t {};
+  static constexpr append_mode_t kAppend{};
+  RecordingSource(std::shared_ptr<workload::WorkloadSource> inner,
+                  std::ostream& out, append_mode_t);
 
   [[nodiscard]] std::string name() const override { return inner_->name(); }
   [[nodiscard]] int num_ports() const override { return inner_->num_ports(); }

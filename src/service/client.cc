@@ -1,0 +1,216 @@
+#include "service/client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "replay/journal.h"
+
+namespace saath::service {
+
+bool ServiceClient::fail(const std::string& why) {
+  report_.ok = false;
+  if (report_.error.empty()) report_.error = why;
+  return false;
+}
+
+bool ServiceClient::send_line(const std::string& line) {
+  return conn_.send_line(line);
+}
+
+bool ServiceClient::read_frame(std::string& frame) {
+  for (;;) {
+    if (auto f = framer_.next_frame()) {
+      frame = std::move(*f);
+      return true;
+    }
+    char buf[16 * 1024];
+    const long r = conn_.recv_some(buf, sizeof buf);
+    if (r <= 0) return false;
+    if (!framer_.feed(buf, static_cast<std::size_t>(r))) return false;
+  }
+}
+
+bool ServiceClient::drain_available(workload::WorkloadSource* reactive) {
+  for (;;) {
+    while (auto f = framer_.next_frame()) handle_frame(*f, reactive);
+    if (!conn_.recv_ready(0)) return true;
+    char buf[16 * 1024];
+    const long r = conn_.recv_some(buf, sizeof buf);
+    if (r < 0) return fail("recv error draining replies");
+    if (r == 0) return true;  // EOF surfaces on the next blocking read
+    if (!framer_.feed(buf, static_cast<std::size_t>(r))) {
+      return fail("oversized reply frame");
+    }
+  }
+}
+
+void ServiceClient::handle_frame(const std::string& frame,
+                                 workload::WorkloadSource* reactive) {
+  std::istringstream ss(frame);
+  std::string verb;
+  ss >> verb;
+  if (verb == "DONE") {
+    ++report_.dones;
+    if (const auto rec = parse_done(frame)) {
+      outstanding_.erase(rec->id.value);
+      if (reactive != nullptr) reactive->on_coflow_complete(*rec, rec->finish);
+    }
+  } else if (verb == "REJ") {
+    ++report_.rejects_seen;
+    if (report_.reject_lines.size() < 16) report_.reject_lines.push_back(frame);
+    std::string kind;
+    ss >> kind;
+    std::string tok;
+    std::int64_t id = -1;
+    while (ss >> tok) {
+      if (tok.rfind("id=", 0) == 0) {
+        id = std::strtoll(tok.c_str() + 3, nullptr, 10);
+      }
+    }
+    // duplicate-id means the arrival already lives in the run (restart
+    // re-drive): its DONE is still owed here, keep it outstanding.
+    if (id >= 0 && kind != "duplicate-id") outstanding_.erase(id);
+  } else if (verb == "WELCOME") {
+    std::uint32_t sid = 0;
+    SimTime wm = 0;
+    if (ss >> sid >> wm) {
+      report_.session = sid;
+      report_.watermark = wm;
+    }
+  } else if (verb == "FINOK") {
+    ss >> report_.accepted >> report_.rejected;
+    fin_ok_ = true;
+  } else if (verb == "END") {
+    ss >> report_.digest_hex >> report_.makespan;
+    report_.got_end = true;
+  } else if (verb == "STAT") {
+    if (in_stats_) {
+      stats_buf_ += frame;
+      stats_buf_ += '\n';
+    }
+  } else if (verb == "ENDSTATS") {
+    stats_done_ = true;
+    in_stats_ = false;
+  }
+  // BYE and anything unknown: ignored (forward compatibility).
+}
+
+bool ServiceClient::connect(const std::string& workload_name, int num_ports) {
+  try {
+    conn_ = dial(opts_.address);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (!send_line("HELLO " + opts_.client_name + ' ' +
+                 std::to_string(num_ports) + ' ' + workload_name)) {
+    return fail("peer closed during HELLO");
+  }
+  std::string frame;
+  for (;;) {
+    if (!read_frame(frame)) return fail("connection closed before WELCOME");
+    handle_frame(frame, nullptr);
+    if (report_.session != 0) break;
+    if (frame.rfind("REJ ", 0) == 0) {
+      return fail("handshake rejected: " + frame);
+    }
+  }
+  // Declare reactivity before any event: the daemon must block its engine
+  // after every DONE it routes here until this client answers.
+  if (opts_.reactive && !send_line("REACTIVE")) {
+    return fail("peer closed at REACTIVE");
+  }
+  return true;
+}
+
+bool ServiceClient::drive(workload::WorkloadSource& source) {
+  workload::WorkloadSource* reactive = opts_.reactive ? &source : nullptr;
+  // Event frames batch into one send_all per ~64 KiB: the syscall pair
+  // (send + reply poll) per event caps ingest well below the wire's
+  // capacity otherwise. Throttled runs flush per event — pacing is the
+  // point there.
+  std::string batch;
+  const auto flush = [this, &batch] {
+    if (batch.empty()) return true;
+    const bool ok = conn_.send_all(batch.data(), batch.size());
+    batch.clear();
+    return ok;
+  };
+  for (;;) {
+    if (report_.got_end) return true;  // run ended under us; nothing to send
+    const SimTime t = source.peek_next_time();
+    if (t == kNever) {
+      if (!flush()) return fail("peer closed mid-stream");
+      if (!drain_available(reactive)) return false;
+      if (report_.got_end) return true;
+      if (reactive == nullptr || outstanding_.empty()) break;
+      // The source is waiting on completions: declare IDLE (the daemon's
+      // barrier exemption), then block for feedback. A DONE may release
+      // new events — the loop re-peeks and streams them, and the daemon
+      // blocks its engine until this burst ends in another IDLE (or FIN).
+      // The dones count makes an IDLE that crossed a DONE on the wire
+      // recognizably stale daemon-side.
+      if (!send_line("IDLE " + std::to_string(report_.dones))) {
+        return fail("peer closed at IDLE");
+      }
+      std::string frame;
+      if (!read_frame(frame)) {
+        return fail("connection closed while awaiting completions");
+      }
+      handle_frame(frame, reactive);
+      continue;
+    }
+    workload::WorkloadEvent ev = source.next();
+    if (ev.kind == workload::WorkloadEvent::Kind::kArrival) {
+      outstanding_.insert(ev.coflow.id.value);
+    }
+    batch += replay::format_event_line(ev);
+    batch += '\n';
+    ++report_.sent;
+    if (opts_.throttle_us > 0 || batch.size() >= 64 * 1024) {
+      if (!flush()) return fail("peer closed mid-stream");
+      if (opts_.throttle_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opts_.throttle_us));
+      }
+      if (!drain_available(reactive)) return false;
+    }
+  }
+  return true;
+}
+
+bool ServiceClient::finish() {
+  if (!send_line("FIN")) return fail("peer closed at FIN");
+  std::string frame;
+  while (!fin_ok_) {
+    if (!read_frame(frame)) return fail("connection closed before FINOK");
+    handle_frame(frame, nullptr);
+  }
+  if (opts_.wait_end) {
+    while (!report_.got_end) {
+      if (!read_frame(frame)) return fail("connection closed before END");
+      handle_frame(frame, nullptr);
+    }
+  }
+  report_.ok = true;
+  return true;
+}
+
+std::optional<std::string> ServiceClient::query_stats() {
+  stats_buf_.clear();
+  stats_done_ = false;
+  in_stats_ = true;
+  if (!send_line("STATS")) return std::nullopt;
+  std::string frame;
+  while (!stats_done_) {
+    if (!read_frame(frame)) return std::nullopt;
+    handle_frame(frame, nullptr);
+  }
+  return stats_buf_;
+}
+
+bool ServiceClient::request_shutdown() { return send_line("SHUTDOWN"); }
+
+}  // namespace saath::service

@@ -1,0 +1,164 @@
+#include "service/protocol.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "replay/journal.h"
+
+namespace saath::service {
+
+// -------------------------------------------------------------- FrameReader
+
+bool FrameReader::feed(const char* data, std::size_t n) {
+  if (overflowed_) return false;
+  buf_.append(data, n);
+  // The overflow check keys on the *unterminated tail*: an open frame
+  // longer than max_frame_ means the peer is not speaking the protocol.
+  // (A completed oversized frame is caught in next_frame.)
+  const auto last_nl = buf_.rfind('\n');
+  const std::size_t tail_start =
+      last_nl == std::string::npos ? consumed_ : last_nl + 1;
+  if (buf_.size() - tail_start > max_frame_) {
+    overflowed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> FrameReader::next_frame() {
+  if (overflowed_) return std::nullopt;
+  const auto nl = buf_.find('\n', scan_from_ > consumed_ ? scan_from_
+                                                         : consumed_);
+  if (nl == std::string::npos) {
+    scan_from_ = buf_.size();
+    // Everything buffered is consumed or an open tail; drop the consumed
+    // prefix so the buffer never grows with throughput.
+    if (consumed_ > 0) {
+      buf_.erase(0, consumed_);
+      scan_from_ -= consumed_;
+      consumed_ = 0;
+    }
+    return std::nullopt;
+  }
+  if (nl - consumed_ > max_frame_) {
+    // A single-feed blast can complete an oversized frame before the open-
+    // tail check in feed() ever saw it unterminated.
+    overflowed_ = true;
+    return std::nullopt;
+  }
+  std::string frame = buf_.substr(consumed_, nl - consumed_);
+  // Advance the cursor instead of erasing per frame: draining a large
+  // batched feed stays O(bytes), not O(frames * buffer).
+  consumed_ = nl + 1;
+  scan_from_ = consumed_;
+  if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+  return frame;
+}
+
+// ------------------------------------------------------------ request parse
+
+Request parse_request(const std::string& frame) {
+  Request req;
+  if (frame.empty()) {
+    req.error = "empty frame";
+    return req;
+  }
+  const char tag = frame[0];
+  if (tag == 'A' || tag == 'G' || tag == 'D') {
+    try {
+      auto ev = replay::parse_event_line(frame, 0);
+      if (!ev.has_value()) {
+        req.error = "blank event frame";
+        return req;
+      }
+      req.kind = Request::Kind::kEvent;
+      req.event = std::move(*ev);
+    } catch (const std::exception& e) {
+      req.error = e.what();
+    }
+    return req;
+  }
+  std::istringstream ss(frame);
+  std::string verb;
+  ss >> verb;
+  if (verb == "HELLO") {
+    if (!(ss >> req.client_name >> req.num_ports) || req.num_ports <= 0) {
+      req.error = "HELLO wants: HELLO <client> <num_ports> <workload...>";
+      return req;
+    }
+    std::getline(ss, req.workload_name);
+    if (!req.workload_name.empty() && req.workload_name.front() == ' ') {
+      req.workload_name.erase(0, 1);
+    }
+    if (req.workload_name.empty()) {
+      req.error = "HELLO missing workload name";
+      return req;
+    }
+    req.kind = Request::Kind::kHello;
+  } else if (verb == "REACTIVE") {
+    req.kind = Request::Kind::kReactive;
+  } else if (verb == "IDLE") {
+    req.kind = Request::Kind::kIdle;
+    ss >> req.idle_dones;  // optional; stays -1 (unconditional) if absent
+  } else if (verb == "STATS") {
+    req.kind = Request::Kind::kStats;
+  } else if (verb == "FIN") {
+    req.kind = Request::Kind::kFin;
+  } else if (verb == "SHUTDOWN") {
+    req.kind = Request::Kind::kShutdown;
+  } else {
+    req.error = "unknown verb '" + verb + "'";
+  }
+  return req;
+}
+
+// -------------------------------------------------------------- formatting
+
+std::string format_welcome(std::uint32_t session, SimTime watermark) {
+  return "WELCOME " + std::to_string(session) + ' ' +
+         std::to_string(watermark);
+}
+
+std::string format_reject(const char* kind, const std::string& detail) {
+  std::string line = "REJ ";
+  line += kind;
+  if (!detail.empty()) {
+    line += ' ';
+    line += detail;
+  }
+  return line;
+}
+
+std::string format_done(const CoflowRecord& rec) {
+  return "DONE " + std::to_string(rec.id.value) + ' ' +
+         std::to_string(rec.job.value) + ' ' + std::to_string(rec.stage) +
+         ' ' + std::to_string(rec.arrival) + ' ' +
+         std::to_string(rec.finish);
+}
+
+std::string format_finok(std::int64_t accepted, std::int64_t rejected) {
+  return "FINOK " + std::to_string(accepted) + ' ' +
+         std::to_string(rejected);
+}
+
+std::string format_end(const std::string& digest_hex, SimTime makespan) {
+  return "END " + digest_hex + ' ' + std::to_string(makespan);
+}
+
+std::optional<CoflowRecord> parse_done(const std::string& line) {
+  std::istringstream ss(line);
+  std::string verb;
+  ss >> verb;
+  if (verb != "DONE") return std::nullopt;
+  std::int64_t id = 0;
+  std::int64_t job = 0;
+  CoflowRecord rec;
+  if (!(ss >> id >> job >> rec.stage >> rec.arrival >> rec.finish)) {
+    return std::nullopt;
+  }
+  rec.id = CoflowId{id};
+  rec.job = JobId{job};
+  return rec;
+}
+
+}  // namespace saath::service

@@ -1,0 +1,101 @@
+// Socket transport for the service layer.
+//
+// One abstraction, two carriers: a Listener accepts Connections on either a
+// Unix-domain socket ("unix:/path/to.sock") or a TCP loopback port
+// ("tcp:PORT", port 0 = kernel-assigned). A Connection is a blocking,
+// full-duplex byte pipe with the two operations the framed protocol needs:
+// send_all (handles partial writes and EINTR, never raises SIGPIPE) and
+// recv_some. Listener::close() wakes a blocked accept() from another thread
+// via a self-pipe — the portable way to interrupt accept without signals.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace saath::service {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking full-duplex byte stream over a connected socket.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(Fd fd) : fd_(std::move(fd)) {}
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  /// Writes all n bytes (looping over partial writes / EINTR). Returns
+  /// false once the peer is gone; never raises SIGPIPE.
+  [[nodiscard]] bool send_all(const char* data, std::size_t n);
+  [[nodiscard]] bool send_line(const std::string& line_without_newline);
+  /// Blocking read of up to n bytes. > 0: bytes read; 0: clean EOF;
+  /// < 0: error (connection unusable).
+  [[nodiscard]] long recv_some(char* buf, std::size_t n);
+  /// True when recv_some would not block (data or EOF pending).
+  /// timeout_ms: 0 = instant probe, -1 = wait indefinitely.
+  [[nodiscard]] bool recv_ready(int timeout_ms);
+  /// Half-close: signals end-of-requests while completions keep flowing in.
+  void shutdown_write();
+  /// Full shutdown: wakes a reader blocked in recv_some on another thread
+  /// (safe teardown order: shutdown, join the reader, then close).
+  void shutdown_both();
+  void close() { fd_.reset(); }
+
+ private:
+  Fd fd_;
+};
+
+/// Accepts connections until close()d; both carriers present this surface.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  /// Blocks for the next connection; nullopt once close() was called (or
+  /// the listening socket died).
+  [[nodiscard]] virtual std::optional<Connection> accept() = 0;
+  /// Idempotent; wakes a blocked accept() on another thread.
+  virtual void close() = 0;
+  /// Canonical dialable address ("unix:/path" / "tcp:PORT" with the bound
+  /// port resolved — pass "tcp:0" to bind an ephemeral port and read the
+  /// real one back here).
+  [[nodiscard]] virtual std::string address() const = 0;
+};
+
+/// Binds `address` ("unix:/path" or "tcp:PORT" on loopback). Throws
+/// std::runtime_error on bind failure; a stale Unix socket file is removed.
+[[nodiscard]] std::unique_ptr<Listener> make_listener(
+    const std::string& address);
+
+/// Dials an address produced by Listener::address(). Throws on failure.
+[[nodiscard]] Connection dial(const std::string& address);
+
+}  // namespace saath::service

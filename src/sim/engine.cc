@@ -130,6 +130,25 @@ void Engine::record_input_fault(InputFault::Kind kind, SimTime time,
   stats_.input_faults.push_back({kind, time, id, std::move(detail)});
 }
 
+void Engine::publish_telemetry() {
+  telemetry_.epochs.store(stats_.epochs, std::memory_order_relaxed);
+  telemetry_.live_coflows.store(static_cast<std::int64_t>(active_.size()),
+                                std::memory_order_relaxed);
+  telemetry_.completed_coflows.store(completed_count_,
+                                     std::memory_order_relaxed);
+  telemetry_.quarantined_now.store(
+      static_cast<std::int64_t>(quarantined_.size()),
+      std::memory_order_relaxed);
+  telemetry_.abandoned.store(
+      static_cast<std::int64_t>(stats_.abandoned_coflow_ids.size()),
+      std::memory_order_relaxed);
+  telemetry_.source_events.store(stats_.source_events,
+                                 std::memory_order_relaxed);
+  telemetry_.rejected_events.store(stats_.rejected_events,
+                                   std::memory_order_relaxed);
+  telemetry_.sim_now.store(now_, std::memory_order_relaxed);
+}
+
 const char* Engine::check_spec(const CoflowSpec& spec) const {
   if (spec.flows.empty()) return "coflow has no flows";
   for (const auto& f : spec.flows) {
@@ -258,6 +277,11 @@ bool Engine::input_pending() {
 void Engine::admit_coflow(CoflowSpec spec, SimTime data_ready) {
   const CoflowId id = spec.id;
   ++stats_.arrivals_admitted;
+  if (config_.track_admission_latency) {
+    // Reused vector: capacity survives the per-schedule clear(), so steady
+    // state allocates nothing.
+    pending_admit_stamps_.push_back(Clock::now());
+  }
   auto state = std::make_unique<CoflowState>(std::move(spec), FlowId{next_flow_id_});
   next_flow_id_ += state->width();
   // Effective release instant = earliest of any already-recorded release
@@ -439,6 +463,17 @@ SAATH_HOT_NOALLOC void Engine::compute_schedule() {
   if (!graveyard_.empty() &&
       (!config_.event_driven || graveyard_.size() * 8 >= heap_.size() + 8)) {
     reclaim_finished();
+  }
+  // Every CoFlow admitted since the previous schedule just received its
+  // first rate decision — close out its admission-latency measurement.
+  if (!pending_admit_stamps_.empty()) {
+    const auto first_schedule_done = Clock::now();
+    for (const auto& admitted_at : pending_admit_stamps_) {
+      stats_.admission_latency.record(
+          std::chrono::duration<double>(first_schedule_done - admitted_at)
+              .count());
+    }
+    pending_admit_stamps_.clear();
   }
   stats_.schedule_ns += ns_since(t0);
 }
@@ -868,6 +903,8 @@ void Engine::finalize_coflow(CoflowState& coflow, SimTime at) {
   }
   result_.makespan = std::max(result_.makespan, at);
   data_available_at_.erase(coflow.id());
+  telemetry_.completed_coflows.store(++completed_count_,
+                                     std::memory_order_relaxed);
   if (sink_) sink_->on_coflow_complete(rec, at);
   // Reactive sources (DagSource) release dependent work off this feedback.
   source_->on_coflow_complete(rec, at);
@@ -985,6 +1022,7 @@ SimResult Engine::run() {
     const auto live = static_cast<std::int64_t>(active_.size());
     stats_.live_coflow_epoch_sum += live;
     stats_.peak_live_coflows = std::max(stats_.peak_live_coflows, live);
+    publish_telemetry();
     // Quiescent-epoch skip: with no delta since the last assignment, an
     // unchanged capacity map, and the scheduler vouching that none of its
     // time-driven triggers (threshold crossings, deadlines) fired, a
@@ -999,6 +1037,7 @@ SimResult Engine::run() {
     }
     advance_until(now_ + config_.delta);
   }
+  publish_telemetry();
   std::sort(result_.coflows.begin(), result_.coflows.end(),
             [](const CoflowRecord& a, const CoflowRecord& b) {
               return a.id < b.id;

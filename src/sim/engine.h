@@ -28,6 +28,8 @@
 // per completion — which the property suite holds bit-identical.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,6 +40,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/histogram.h"
 #include "parallel/thread_pool.h"
 #include "sim/completion_heap.h"
 #include "sim/dynamics.h"
@@ -105,6 +108,12 @@ struct SimConfig {
   /// Quarantine re-admissions granted before the CoFlow is abandoned
   /// (reported in EngineStats::abandoned_coflow_ids, never finished).
   int max_requeue_attempts = 3;
+  /// Measure wall-clock admission→first-schedule latency per CoFlow into
+  /// EngineStats::admission_latency (the coordinator-responsiveness metric
+  /// the service layer reports). Off by default: the stamp vector and
+  /// histogram updates cost a few ns per admission and batch-mode callers
+  /// don't read them.
+  bool track_admission_latency = false;
   /// Input validation posture. true (default): any violation of the
   /// WorkloadSource contract (ordering, malformed specs, bad dynamics)
   /// aborts via SAATH_EXPECTS — correct for trusted generators. false:
@@ -187,6 +196,26 @@ struct EngineStats {
   /// fired (empty on clean completion) — filled just before the throw so
   /// post-mortems can name the stuck work programmatically.
   std::vector<std::int64_t> stuck_coflow_ids;
+  /// Wall-clock admission→first-schedule latency per admitted CoFlow in
+  /// seconds (populated only under SimConfig::track_admission_latency):
+  /// admit_coflow() to the end of the compute_schedule() that first hands
+  /// that CoFlow a rate decision. Buckets span [1 ns, ~69 s) at 5%/bucket.
+  LogHistogram admission_latency{1e-9, 1.05, 512};
+};
+
+/// Lock-free run-progress gauges a monitoring thread may read while run()
+/// executes on another thread (the service layer's STATS path). All fields
+/// are relaxed atomics: each value is individually coherent but the set is
+/// not a consistent cut — fine for telemetry, wrong for control decisions.
+struct LiveTelemetry {
+  std::atomic<std::int64_t> epochs{0};
+  std::atomic<std::int64_t> live_coflows{0};
+  std::atomic<std::int64_t> completed_coflows{0};
+  std::atomic<std::int64_t> quarantined_now{0};
+  std::atomic<std::int64_t> abandoned{0};
+  std::atomic<std::int64_t> source_events{0};
+  std::atomic<std::int64_t> rejected_events{0};
+  std::atomic<SimTime> sim_now{0};
 };
 
 class Engine {
@@ -248,6 +277,9 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] int scheduling_rounds() const { return rounds_; }
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  /// Progress gauges safe to read from other threads while run() executes
+  /// (relaxed atomics, refreshed once per epoch and at completion events).
+  [[nodiscard]] const LiveTelemetry& telemetry() const { return telemetry_; }
 
  private:
   /// Injected (mid-run) arrivals: an index-into-store min-heap keyed by
@@ -317,6 +349,9 @@ class Engine {
   /// drop and records the first kMaxInputFaults with reasons.
   void record_input_fault(InputFault::Kind kind, SimTime time,
                           std::int64_t id, std::string detail);
+  /// Refreshes the LiveTelemetry gauges from engine-thread state (relaxed
+  /// stores; called at the loop top and on completion-count changes).
+  void publish_telemetry();
   /// nullptr when `spec` is well-formed for this fabric; otherwise a
   /// static string naming the defect (tolerant-mode pre-admission check —
   /// CoflowState's constructor asserts on these).
@@ -405,6 +440,13 @@ class Engine {
   /// completions, dynamics, data flips) is marked, so delta-aware
   /// schedulers re-key only those. Cleared after each handoff.
   SchedulerDelta delta_;
+
+  /// Admission stamps awaiting their first compute_schedule() (reused
+  /// across epochs so steady state allocates nothing; populated only under
+  /// config_.track_admission_latency).
+  std::vector<std::chrono::steady_clock::time_point> pending_admit_stamps_;
+  LiveTelemetry telemetry_;
+  std::int64_t completed_count_ = 0;
 
   SimResult result_;
   EngineStats stats_;

@@ -1,43 +1,11 @@
 #include "workload/sink.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/expect.h"
-
 namespace saath::workload {
-
-int CctAggregator::bucket_of(double cct_seconds) {
-  if (cct_seconds <= kFloorSeconds) return 0;
-  const int b = static_cast<int>(std::log(cct_seconds / kFloorSeconds) /
-                                 std::log(kLogBase));
-  return std::clamp(b, 0, kBuckets - 1);
-}
 
 void CctAggregator::on_coflow_complete(const CoflowRecord& rec, SimTime now) {
   (void)now;
-  const double cct = rec.cct_seconds();
-  ++count_;
-  sum_cct_seconds_ += cct;
-  max_cct_seconds_ = std::max(max_cct_seconds_, cct);
   total_bytes_ += rec.total_bytes;
-  ++hist_[static_cast<std::size_t>(bucket_of(cct))];
-}
-
-double CctAggregator::percentile_cct_seconds(double p) const {
-  SAATH_EXPECTS(p >= 0 && p <= 100);
-  if (count_ == 0) return 0;
-  const auto target = static_cast<std::int64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
-  std::int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += hist_[static_cast<std::size_t>(b)];
-    if (seen >= std::max<std::int64_t>(target, 1)) {
-      // Bucket midpoint in log space.
-      return kFloorSeconds * std::pow(kLogBase, static_cast<double>(b) + 0.5);
-    }
-  }
-  return max_cct_seconds_;
+  hist_.record(rec.cct_seconds());
 }
 
 }  // namespace saath::workload

@@ -7,10 +7,10 @@
 // error bounded by the bucket ratio, ~1.2%).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 
+#include "common/histogram.h"
 #include "sim/result.h"
 
 namespace saath::workload {
@@ -20,16 +20,16 @@ class CctAggregator : public ResultSink {
   void on_coflow_complete(const CoflowRecord& rec, SimTime now) override;
   void on_run_end(SimTime makespan) override { makespan_ = makespan; }
 
-  [[nodiscard]] std::int64_t count() const { return count_; }
-  [[nodiscard]] double mean_cct_seconds() const {
-    return count_ == 0 ? 0 : sum_cct_seconds_ / static_cast<double>(count_);
-  }
-  [[nodiscard]] double max_cct_seconds() const { return max_cct_seconds_; }
+  [[nodiscard]] std::int64_t count() const { return hist_.count(); }
+  [[nodiscard]] double mean_cct_seconds() const { return hist_.mean(); }
+  [[nodiscard]] double max_cct_seconds() const { return hist_.max(); }
   [[nodiscard]] SimTime makespan() const { return makespan_; }
   [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
 
   /// Approximate percentile (p in [0, 100]) from the log histogram.
-  [[nodiscard]] double percentile_cct_seconds(double p) const;
+  [[nodiscard]] double percentile_cct_seconds(double p) const {
+    return hist_.percentile(p);
+  }
 
  private:
   /// Buckets span [1µs, ~3.5e3 s) with ratio 1.025 per bucket; CCTs outside
@@ -38,14 +38,9 @@ class CctAggregator : public ResultSink {
   static constexpr double kLogBase = 1.025;
   static constexpr double kFloorSeconds = 1e-6;
 
-  [[nodiscard]] static int bucket_of(double cct_seconds);
-
-  std::int64_t count_ = 0;
-  double sum_cct_seconds_ = 0;
-  double max_cct_seconds_ = 0;
   Bytes total_bytes_ = 0;
   SimTime makespan_ = 0;
-  std::array<std::int64_t, kBuckets> hist_{};
+  LogHistogram hist_{kFloorSeconds, kLogBase, kBuckets};
 };
 
 }  // namespace saath::workload

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/histogram.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -170,6 +171,52 @@ TEST(Rng, BernoulliExtremes) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(rng.bernoulli(0.0));
     EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(LogHistogram, ExactAggregatesApproxPercentiles) {
+  LogHistogram h(1e-6, 1.05, 512);
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-4);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.max(), 0.1);
+  EXPECT_NEAR(h.sum(), 1000.0 * 1001.0 / 2.0 * 1e-4, 1e-9);
+  EXPECT_NEAR(h.mean(), h.sum() / 1000.0, 1e-12);
+  // Relative error of a log-bucketed percentile is bounded by the ratio.
+  EXPECT_NEAR(h.percentile(50), 0.05, 0.05 * 0.06);
+  EXPECT_NEAR(h.percentile(99), 0.099, 0.099 * 0.06);
+}
+
+TEST(LogHistogram, ClampsAndEmptyAndReset) {
+  LogHistogram h(1.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);  // empty
+  h.record(0.001);  // below floor: clamps into bucket 0
+  EXPECT_EQ(h.bucket_of(0.001), 0);
+  h.record(1e9);  // past the last bucket: clamps, exact max survives
+  EXPECT_EQ(h.bucket_of(1e9), 3);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LogHistogram, MergeMatchesSequentialRecord) {
+  LogHistogram a(1e-6, 1.05, 128);
+  LogHistogram b(1e-6, 1.05, 128);
+  LogHistogram both(1e-6, 1.05, 128);
+  for (int i = 1; i <= 50; ++i) {
+    a.record(i * 1e-3);
+    both.record(i * 1e-3);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.record(i * 1e-3);
+    both.record(i * 1e-3);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p));
   }
 }
 

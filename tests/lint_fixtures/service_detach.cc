@@ -1,0 +1,33 @@
+// LINT-AS: src/service/bad_retain.cc
+//
+// Seeded violations for the service-detach check: service code aliasing
+// engine-owned CoflowState/FlowState objects. The engine thread reclaims
+// finished states right after each round's sink flush, and service reader
+// threads run concurrently with it — any alias here is a cross-thread
+// dangle. Note the check flags locals too, not just retained members.
+//
+// Not compiled — fed to `saath_lint.py --self-test` under the LINT-AS path.
+#include <cstdint>
+#include <vector>
+
+namespace saath::service {
+
+class BadCache {
+ public:
+  void remember(CoflowState* live) { last_ = live; }  // EXPECT-LINT: service-detach
+
+ private:
+  CoflowState* last_ = nullptr;  // EXPECT-LINT: service-detach
+  std::vector<std::int64_t> done_ids_;  // value-typed state: fine
+};
+
+void inspect(const FlowState& f);  // EXPECT-LINT: service-detach
+
+double peek_rate(const CoflowState* c) {  // SAATH_LINT_OK(service-detach): fixture-only demo of an audited suppression
+  return c != nullptr ? 1.0 : 0.0;
+}
+
+// Value types crossing the boundary are the sanctioned idiom: not flagged.
+void stream_done(const CoflowRecord& rec, std::int64_t finish);
+
+}  // namespace saath::service

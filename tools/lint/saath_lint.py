@@ -32,6 +32,14 @@ the compiler cannot see:
                         which forks the digest — double-only arithmetic
                         with -ffp-contract=off (set in CMakeLists.txt) is
                         the contract.
+  service-detach        src/service/ runs on threads the engine knows
+                        nothing about: the daemon's reader threads and the
+                        result-sink writer see engine output only as value
+                        types (CoflowRecord, WorkloadEvent, SimResult).
+                        Any CoflowState*/FlowState* in service code is a
+                        cross-thread dangle waiting to happen — the engine
+                        thread owns those objects and reclaims finished
+                        ones right after the round's sink flush.
   flag-matrix           Every incremental/event-driven mode flag (the
                         bool incremental_* config knobs plus event_driven,
                         skip_quiescent_epochs, parallel_shards) must be
@@ -64,6 +72,7 @@ from dataclasses import dataclass, field
 CHECK_IDS = (
     "lane-access",
     "scheduler-retention",
+    "service-detach",
     "hot-noalloc",
     "digest-float",
     "flag-matrix",
@@ -396,6 +405,35 @@ def check_scheduler_retention(lf, findings):
                 "with an audit note in tools/lint/saath_lint.py"))
 
 
+# ------------------------------------------------------------ service-detach
+
+STATE_PTR_RE = re.compile(
+    r"\b(CoflowState|FlowState)\b(?:\s*\bconst\b)?\s*([*&])")
+
+
+def check_service_detach(lf, findings):
+    """src/service/ must stay detached from engine-owned state objects.
+
+    Unlike scheduler-retention (members of Scheduler subclasses only), this
+    flags ANY pointer or reference to CoflowState/FlowState in the service
+    tree — locals included. The service layer's reader threads and sink
+    writer run concurrently with the engine thread that owns and reclaims
+    those objects; even a short-lived alias races the round's streaming
+    reclamation. Everything the service needs crosses as value types
+    (CoflowRecord, WorkloadEvent, SimResult, EngineSnapshot)."""
+    if not lf.path.startswith("src/service/"):
+        return
+    for m in STATE_PTR_RE.finditer(lf.code):
+        kind = "pointer" if m.group(2) == "*" else "reference"
+        findings.append(Finding(
+            lf.path, line_of(lf.code, m.start()), "service-detach",
+            f"service code takes a {kind} to engine-owned {m.group(1)} — "
+            "the engine thread reclaims finished states after each round's "
+            "sink flush, and service threads run concurrently with it; "
+            "cross the boundary with value types (CoflowRecord, "
+            "WorkloadEvent) instead"))
+
+
 # ---------------------------------------------------------------- hot-noalloc
 
 def annotated_bodies(code):
@@ -609,6 +647,7 @@ def run_checks(files, ast=None, root=None):
     for lf in files:
         check_lane_access(lf, findings)
         check_scheduler_retention(lf, findings)
+        check_service_detach(lf, findings)
         check_hot_noalloc(lf, findings)
         check_digest_float(lf, findings)
         for lineno, msg in lf.bad_suppressions:
